@@ -1,0 +1,55 @@
+(* CLI driver: run any of the paper's experiments by id. *)
+
+let list_experiments () =
+  Format.printf "available experiments:@.";
+  List.iter
+    (fun e -> Format.printf "  %-14s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
+    Experiments.Registry.all
+
+let run_ids ids =
+  let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
+  if missing <> [] then begin
+    Format.eprintf "unknown experiment(s): %s@." (String.concat ", " missing);
+    exit 1
+  end;
+  List.iter
+    (fun id ->
+      match Experiments.Registry.find id with
+      | Some e ->
+        let t0 = Unix.gettimeofday () in
+        e.Experiments.Registry.run ();
+        Format.printf "  [%s finished in %.1fs]@." id (Unix.gettimeofday () -. t0)
+      | None -> assert false)
+    ids
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  let doc = "Enable debug logging of protocol events (very chatty)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let ids_arg =
+  let doc = "Experiment ids to run (see --list); 'all' runs everything." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let list_arg =
+  let doc = "List available experiments." in
+  Arg.(value & flag & info [ "list"; "l" ] ~doc)
+
+let main verbose list ids =
+  setup_logs verbose;
+  if list || ids = [] then list_experiments ()
+  else if ids = [ "all" ] then run_ids Experiments.Registry.ids
+  else run_ids ids
+
+let cmd =
+  let doc = "reproduce the AC/DC TCP (SIGCOMM 2016) experiments" in
+  let info = Cmd.info "acdc_expt" ~doc in
+  Cmd.v info Term.(const main $ verbose_arg $ list_arg $ ids_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/incast_rescue.ml: Dcstats Eventsim Experiments Fabric Format List

@@ -1,0 +1,1 @@
+examples/mixed_stacks.ml: Array Dcstats Eventsim Fabric Format List Tcp

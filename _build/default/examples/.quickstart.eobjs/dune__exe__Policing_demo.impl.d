@@ -1,0 +1,1 @@
+examples/policing_demo.ml: Acdc Eventsim Fabric Format Tcp

@@ -1,0 +1,1 @@
+examples/policing_demo.mli:

@@ -1,0 +1,1 @@
+examples/qos_priorities.ml: Acdc Dcpkt Eventsim Fabric Format List Tcp

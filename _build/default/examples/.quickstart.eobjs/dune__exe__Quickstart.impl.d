@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dcstats Eventsim Fabric Format List Printf String Tcp Workload

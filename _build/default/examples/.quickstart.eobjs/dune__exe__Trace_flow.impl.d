@@ -1,0 +1,1 @@
+examples/trace_flow.ml: Acdc Dcpkt Eventsim Fabric Format Tcp Vswitch

@@ -1,0 +1,59 @@
+(* The multi-tenant mess (Figs. 1 and 17): five VMs, five different TCP
+   stacks, one fabric.  Without AC/DC the aggressive stacks crowd out the
+   timid ones; with AC/DC everyone is DCTCP on the wire and shares evenly.
+
+   Run with: dune exec examples/mixed_stacks.exe *)
+
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+
+let tenants =
+  [
+    ("illinois", Tcp.Illinois.factory);
+    ("cubic", Tcp.Cubic.factory);
+    ("reno", Tcp.Reno.factory);
+    ("vegas", Tcp.Vegas.factory);
+    ("highspeed", Tcp.Highspeed.factory);
+  ]
+
+let run ~with_acdc =
+  let params =
+    if with_acdc then Fabric.Params.with_ecn Fabric.Params.default else Fabric.Params.default
+  in
+  let engine = Engine.create () in
+  let acdc =
+    if with_acdc then Fabric.Topology.acdc_everywhere params else Fabric.Topology.no_acdc
+  in
+  let net = Fabric.Topology.dumbbell engine ~params ~acdc ~pairs:5 () in
+  let conns =
+    List.mapi
+      (fun i (name, cc) ->
+        let config = Fabric.Params.tcp_config params ~cc ~ecn:false in
+        let conn =
+          Fabric.Conn.establish
+            ~src:(Fabric.Topology.host net i)
+            ~dst:(Fabric.Topology.host net (5 + i))
+            ~config ()
+        in
+        Fabric.Conn.send_forever conn;
+        (name, conn))
+      tenants
+  in
+  Engine.run ~until:(Time_ns.sec 2.0) engine;
+  Format.printf "%s:@." (if with_acdc then "With AC/DC" else "Without AC/DC");
+  let tputs =
+    List.map
+      (fun (name, conn) ->
+        let gbps = Fabric.Conn.goodput_gbps conn ~over:(Time_ns.sec 2.0) in
+        Format.printf "  %-10s %5.2f Gbps@." name gbps;
+        gbps)
+      conns
+  in
+  Format.printf "  %-10s %5.3f@.@." "fairness"
+    (Dcstats.Fairness.index (Array.of_list tputs));
+  Fabric.Topology.shutdown net
+
+let () =
+  Format.printf "Five tenants, five congestion controls, one 10G bottleneck@.@.";
+  run ~with_acdc:false;
+  run ~with_acdc:true

@@ -1,0 +1,1 @@
+lib/acdc/acdc.ml: Config Receiver Sender Vswitch

@@ -1,0 +1,1 @@
+lib/acdc/acdc.mli: Config Dcpkt Eventsim Receiver Sender Vswitch

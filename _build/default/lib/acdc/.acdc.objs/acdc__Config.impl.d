@@ -1,0 +1,1 @@
+lib/acdc/config.ml: Dcpkt Eventsim Tcp

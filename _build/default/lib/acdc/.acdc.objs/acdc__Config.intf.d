@@ -1,0 +1,1 @@
+lib/acdc/config.mli: Dcpkt Eventsim Tcp

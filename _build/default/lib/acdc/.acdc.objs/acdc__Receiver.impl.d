@@ -1,0 +1,1 @@
+lib/acdc/receiver.ml: Config Dcpkt Option Vswitch

@@ -1,0 +1,1 @@
+lib/acdc/receiver.mli: Config Dcpkt Eventsim Vswitch

@@ -1,0 +1,1 @@
+lib/acdc/sender.ml: Config Dcpkt Eventsim Logs Option Stdlib Tcp Vswitch

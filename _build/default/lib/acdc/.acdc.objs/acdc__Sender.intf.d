@@ -1,0 +1,1 @@
+lib/acdc/sender.mli: Config Dcpkt Eventsim Vswitch

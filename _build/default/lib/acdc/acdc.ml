@@ -1,0 +1,37 @@
+module Config = Config
+module Sender = Sender
+module Receiver = Receiver
+
+type t = { sender : Sender.t; receiver : Receiver.t }
+
+let create engine config =
+  { sender = Sender.create engine config; receiver = Receiver.create engine config }
+
+let processor t =
+  {
+    Vswitch.Datapath.name = "acdc";
+    egress =
+      (fun pkt ~inject ->
+        (* The receiver module runs first so the ACKs of locally-received
+           flows carry PACK feedback before the sender module (which only
+           acts on locally-sent flows) sees them. *)
+        match Receiver.egress t.receiver pkt ~inject with
+        | Vswitch.Datapath.Drop -> Vswitch.Datapath.Drop
+        | Vswitch.Datapath.Pass -> Sender.egress t.sender pkt ~inject);
+    ingress =
+      (fun pkt ~inject ->
+        match Sender.ingress t.sender pkt ~inject with
+        | Vswitch.Datapath.Drop -> Vswitch.Datapath.Drop
+        | Vswitch.Datapath.Pass -> Receiver.ingress t.receiver pkt ~inject);
+  }
+
+let attach t datapath = Vswitch.Datapath.add_processor datapath (processor t)
+
+let sender t = t.sender
+let receiver t = t.receiver
+
+let set_vm_injector t inject = Sender.set_vm_injector t.sender inject
+
+let shutdown t =
+  Sender.shutdown t.sender;
+  Receiver.shutdown t.receiver

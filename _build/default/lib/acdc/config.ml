@@ -1,0 +1,41 @@
+type algorithm = Dctcp | Reno_like | Custom of Tcp.Cc.factory
+
+type policy = {
+  enforce : bool;
+  algorithm : algorithm;
+  beta : float;
+  max_rwnd : int option;
+}
+
+let default_policy = { enforce = true; algorithm = Dctcp; beta = 1.0; max_rwnd = None }
+
+type t = {
+  mss : int;
+  mtu : int;
+  g : float;
+  init_window_segments : int;
+  min_window_bytes : int;
+  max_alpha : float;
+  inactivity_timeout : Eventsim.Time_ns.t;
+  log_only : bool;
+  fack_only : bool;
+  policing_slack : int option;
+  retransmit_assist : bool;
+  policy : Dcpkt.Flow_key.t -> policy;
+}
+
+let default ~mss =
+  {
+    mss;
+    mtu = mss + 40;
+    g = 1.0 /. 16.0;
+    init_window_segments = 10;
+    min_window_bytes = mss;
+    max_alpha = 1.0;
+    inactivity_timeout = Eventsim.Time_ns.ms 10;
+    log_only = false;
+    fack_only = false;
+    policing_slack = None;
+    retransmit_assist = false;
+    policy = (fun _ -> default_policy);
+  }

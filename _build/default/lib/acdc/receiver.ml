@@ -1,0 +1,105 @@
+module Packet = Dcpkt.Packet
+module Flow_key = Dcpkt.Flow_key
+
+type flow = {
+  mutable total_bytes : int;
+  mutable marked_bytes : int;
+  mutable vm_ect : bool; (* data sender's VM is ECN-capable *)
+}
+
+type t = {
+  config : Config.t;
+  table : flow Vswitch.Flow_table.t;
+  mutable packs_sent : int;
+  mutable facks_sent : int;
+}
+
+let enforced t key = (t.config.Config.policy key).Config.enforce
+
+let create engine config =
+  { config; table = Vswitch.Flow_table.create engine (); packs_sent = 0; facks_sent = 0 }
+
+let fresh_flow () = { total_bytes = 0; marked_bytes = 0; vm_ect = false }
+
+(* Data direction: packets we receive. *)
+let ingress t (pkt : Packet.t) ~inject:_ =
+  if not (enforced t pkt.Packet.key) then Vswitch.Datapath.Pass
+  else if pkt.Packet.syn && not pkt.Packet.has_ack then begin
+    ignore (Vswitch.Flow_table.find_or_create t.table pkt.Packet.key ~make:fresh_flow);
+    Vswitch.Datapath.Pass
+  end
+  else begin
+    let tracked =
+      match Vswitch.Flow_table.find t.table pkt.Packet.key with
+      | Some _ as f -> f
+      | None ->
+        (* Mid-stream attachment: start tracking on first data packet. *)
+        if pkt.Packet.payload > 0 then
+          Some (Vswitch.Flow_table.find_or_create t.table pkt.Packet.key ~make:fresh_flow)
+        else None
+    in
+    match tracked with
+    | None -> Vswitch.Datapath.Pass
+    | Some flow ->
+      if pkt.Packet.payload > 0 then begin
+        flow.total_bytes <- flow.total_bytes + pkt.Packet.payload;
+        if pkt.Packet.ecn = Packet.Ce then
+          flow.marked_bytes <- flow.marked_bytes + pkt.Packet.payload;
+        flow.vm_ect <- pkt.Packet.vm_ect;
+        (* Strip ECN state so the tenant never reacts itself; restore the
+           original ECT setting recorded in the reserved bit (§3.2).  In
+           log-only mode the CE marks pass through untouched. *)
+        if not t.config.Config.log_only then begin
+          pkt.Packet.ecn <- (if pkt.Packet.vm_ect then Packet.Ect0 else Packet.Not_ect);
+          pkt.Packet.vm_ect <- false
+        end
+      end;
+      if pkt.Packet.fin then Vswitch.Flow_table.mark_closed t.table pkt.Packet.key;
+      Vswitch.Datapath.Pass
+  end
+
+let owns_egress t (pkt : Packet.t) =
+  Vswitch.Flow_table.find t.table (Flow_key.reverse pkt.Packet.key) <> None
+
+(* ACK direction: packets our VM sends back to the data sender. *)
+let egress t (pkt : Packet.t) ~inject =
+  let data_key = Flow_key.reverse pkt.Packet.key in
+  if not (enforced t data_key) then Vswitch.Datapath.Pass
+  else
+  match Vswitch.Flow_table.find t.table data_key with
+  | None -> Vswitch.Datapath.Pass
+  | Some flow ->
+    if pkt.Packet.has_ack && not pkt.Packet.syn then begin
+      let pack =
+        Packet.Pack { total_bytes = flow.total_bytes; marked_bytes = flow.marked_bytes }
+      in
+      let fits =
+        (not t.config.Config.fack_only)
+        && Packet.wire_size pkt + 8 <= t.config.Config.mtu + 54
+        (* 54 = simulator link-layer framing; the MTU bounds IP payload *)
+      in
+      if fits then begin
+        Packet.set_option pkt pack;
+        t.packs_sent <- t.packs_sent + 1
+      end
+      else begin
+        (* TSO would smear an oversized PACK across segments, corrupting
+           the counters — send a dedicated FACK instead (§3.2). *)
+        let fack = Packet.make ~key:pkt.Packet.key ~options:[ pack ] ~payload:0 () in
+        t.facks_sent <- t.facks_sent + 1;
+        inject fack
+      end;
+      if pkt.Packet.fin then Vswitch.Flow_table.mark_closed t.table data_key
+    end;
+    Vswitch.Datapath.Pass
+
+let tracked_flows t = Vswitch.Flow_table.length t.table
+let packs_sent t = t.packs_sent
+let facks_sent t = t.facks_sent
+
+let marked_bytes t key =
+  Option.map
+    (fun flow -> (flow.total_bytes, flow.marked_bytes))
+    (Vswitch.Flow_table.find t.table key)
+
+let shutdown t = Vswitch.Flow_table.stop_gc t.table

@@ -1,0 +1,54 @@
+(** The AC/DC sender-side module (Fig. 3, left).
+
+    On egress it tracks the flow's sequence space (§3.1), forces packets to
+    be ECN-capable while remembering the VM's original setting in a reserved
+    bit (§3.2), and optionally polices data beyond the enforced window
+    (§3.3).  On ingress it consumes PACK/FACK congestion feedback, runs the
+    DCTCP control law of Fig. 5 to compute a target window, rewrites the
+    receive window of ACKs heading to the VM, and hides ECN feedback from
+    the tenant stack. *)
+
+type t
+
+val create : Eventsim.Engine.t -> Config.t -> t
+
+val egress :
+  t -> Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> Vswitch.Datapath.verdict
+(** Handle a packet the local VM is sending (data direction). *)
+
+val ingress :
+  t -> Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> Vswitch.Datapath.verdict
+(** Handle a packet from the network whose reverse flow we track (ACKs). *)
+
+val owns_ingress : t -> Dcpkt.Packet.t -> bool
+(** Does this packet belong to a connection whose data sender is local? *)
+
+(** {2 Observability} *)
+
+val flow_window : t -> Dcpkt.Flow_key.t -> int option
+(** Current enforced congestion window of a tracked flow (data-direction
+    key), in bytes. *)
+
+val flow_alpha : t -> Dcpkt.Flow_key.t -> float option
+val tracked_flows : t -> int
+val rwnd_rewrites : t -> int
+val policer_drops : t -> int
+val inferred_timeouts : t -> int
+val retransmit_assists : t -> int
+
+val set_vm_injector : t -> (Dcpkt.Packet.t -> unit) -> unit
+(** Give the module a path to deliver synthesized packets to the local VM
+    outside normal packet processing; required for
+    [Config.retransmit_assist]. *)
+
+val set_window_hook : t -> (Dcpkt.Flow_key.t -> Eventsim.Time_ns.t -> int -> unit) -> unit
+(** Called with the computed window every time an ACK is processed — the
+    instrumentation used for Figs. 9 and 10. *)
+
+val window_update : t -> Dcpkt.Flow_key.t -> to_vm:(Dcpkt.Packet.t -> unit) -> bool
+(** Synthesize a TCP Window Update carrying the current enforced window and
+    hand it to [to_vm] (§3.3's "create these packets to update windows
+    without relying on ACKs").  Returns [false] if the flow is unknown. *)
+
+val shutdown : t -> unit
+(** Cancel timers so a simulation can drain. *)

@@ -1,0 +1,1 @@
+lib/eventsim/engine.ml: Event_heap Format Time_ns

@@ -1,0 +1,1 @@
+lib/eventsim/time_ns.ml: Format Int Stdlib

@@ -1,0 +1,58 @@
+type timer = { mutable live : bool; action : unit -> unit }
+
+type event = Callback of (unit -> unit) | Timer of timer
+
+type t = { mutable clock : Time_ns.t; queue : event Event_heap.t }
+
+let create () = { clock = Time_ns.zero; queue = Event_heap.create () }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Format.asprintf "Engine.schedule: time %a is before now %a" Time_ns.pp at Time_ns.pp
+         t.clock);
+  Event_heap.push t.queue ~time:at (Callback f)
+
+let schedule_after t ~delay f = schedule t ~at:(Time_ns.add t.clock delay) f
+
+let timer_after t ~delay action =
+  let timer = { live = true; action } in
+  Event_heap.push t.queue ~time:(Time_ns.add t.clock delay) (Timer timer);
+  timer
+
+let cancel timer = timer.live <- false
+
+let timer_pending timer = timer.live
+
+let fire = function
+  | Callback f -> f ()
+  | Timer timer ->
+    if timer.live then begin
+      timer.live <- false;
+      timer.action ()
+    end
+
+let step t =
+  match Event_heap.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- time;
+    fire ev;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+    let continue = ref true in
+    while !continue do
+      match Event_heap.peek_time t.queue with
+      | Some time when time <= limit -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- Time_ns.max t.clock limit;
+        continue := false
+    done
+
+let pending_events t = Event_heap.length t.queue

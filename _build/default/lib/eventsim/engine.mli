@@ -1,0 +1,41 @@
+(** The discrete-event simulation core.
+
+    An engine owns a virtual clock and an event queue.  Components schedule
+    closures at absolute or relative times; [run] drains the queue in
+    timestamp order, advancing the clock.  Timers are cancellable handles on
+    top of the same queue. *)
+
+type t
+
+type timer
+(** A cancellable scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time_ns.t
+(** Current virtual time. *)
+
+val schedule : t -> at:Time_ns.t -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute time.  Scheduling in the past raises
+    [Invalid_argument]. *)
+
+val schedule_after : t -> delay:Time_ns.t -> (unit -> unit) -> unit
+(** Schedule relative to [now]. *)
+
+val timer_after : t -> delay:Time_ns.t -> (unit -> unit) -> timer
+(** Like [schedule_after] but returns a handle that can be cancelled. *)
+
+val cancel : timer -> unit
+(** Cancelling a fired or already-cancelled timer is a no-op. *)
+
+val timer_pending : timer -> bool
+
+val run : ?until:Time_ns.t -> t -> unit
+(** Process events in order until the queue is empty, or until the clock
+    would pass [until] (remaining events stay queued and the clock is left
+    at [until]). *)
+
+val step : t -> bool
+(** Process a single event.  Returns [false] if the queue was empty. *)
+
+val pending_events : t -> int

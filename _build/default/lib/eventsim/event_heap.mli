@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap of timestamped events.
+
+    Events firing at the same instant are delivered in insertion order
+    (FIFO), which keeps simulations deterministic: the heap orders first by
+    time, then by a monotonically increasing sequence number. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:Time_ns.t -> 'a -> unit
+
+val peek_time : 'a t -> Time_ns.t option
+(** Timestamp of the earliest event, without removing it. *)
+
+val pop : 'a t -> (Time_ns.t * 'a) option
+(** Remove and return the earliest event. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,25 @@
+type t = int
+
+let zero = 0
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = int_of_float (x *. 1e9 +. 0.5)
+
+let to_sec t = float_of_int t /. 1e9
+let to_ms t = float_of_int t /. 1e6
+let to_us t = float_of_int t /. 1e3
+
+let add = ( + )
+let diff = ( - )
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let compare = Int.compare
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.3fms" (to_ms t)
+  else Format.fprintf fmt "%.4fs" (to_sec t)

@@ -1,0 +1,30 @@
+(** Simulated time, in integer nanoseconds.
+
+    All simulator components express time as [Time_ns.t].  Using a plain
+    integer keeps event comparisons allocation-free; OCaml's 63-bit native
+    integers give ~292 years of range, far beyond any simulation. *)
+
+type t = int
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : float -> t
+
+val to_sec : t -> float
+val to_ms : t -> float
+val to_us : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+
+val compare : t -> t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)

@@ -1,0 +1,1 @@
+lib/experiments/fig_anycc.ml: Acdc Array Dcstats Eventsim Fabric Harness List Tcp Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_fairness.ml: Acdc Array Dcpkt Dcstats Eventsim Fabric Fig_motivation Format Harness List Printf String Tcp Workload

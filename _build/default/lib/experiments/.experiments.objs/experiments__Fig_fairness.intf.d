@@ -1,0 +1,1 @@
+lib/experiments/fig_fairness.mli: Dcstats Fig_motivation

@@ -1,0 +1,1 @@
+lib/experiments/fig_load_sweep.ml: Dcstats Eventsim Fabric Harness List Printf Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_macro.ml: Array Dcstats Eventsim Fabric Harness List Printf Tcp Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_micro.ml: Acdc Array Dcpkt Dcstats Eventsim Fabric Float Format Harness List Printf Stdlib String Tcp Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_motivation.ml: Array Dcstats Eventsim Fabric Float Format Harness List Printf Tcp Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig_motivation.mli: Dcstats Tcp

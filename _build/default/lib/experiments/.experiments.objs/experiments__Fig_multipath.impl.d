@@ -1,0 +1,1 @@
+lib/experiments/fig_multipath.ml: Array Dcpkt Dcstats Eventsim Fabric Format Harness List Netsim Stdlib String Tcp

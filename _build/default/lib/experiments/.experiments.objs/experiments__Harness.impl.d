@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Dcstats Eventsim Fabric Format List Printf String Tcp

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Dcstats Eventsim Fabric Format Tcp

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Fig_anycc Fig_fairness Fig_load_sweep Fig_macro Fig_micro Fig_motivation Fig_multipath List String

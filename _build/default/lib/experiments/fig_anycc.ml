@@ -1,0 +1,81 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+
+module Any_cc = struct
+  type row = {
+    vswitch_algorithm : string;
+    tputs : float list;
+    fairness : float;
+    rtt_p50_ms : float;
+    rtt_p99_ms : float;
+  }
+
+  type result = row list
+
+  let algorithms =
+    [
+      ("dctcp (native)", Acdc.Config.Dctcp);
+      ("reno-like", Acdc.Config.Reno_like);
+      ("custom reno", Acdc.Config.Custom Tcp.Reno.factory);
+      ("custom cubic", Acdc.Config.Custom Tcp.Cubic.factory);
+      ("custom highspeed", Acdc.Config.Custom Tcp.Highspeed.factory);
+      ("custom dctcp", Acdc.Config.Custom Tcp.Dctcp_cc.factory);
+    ]
+
+  let one (name, algorithm) ~duration =
+    let params = Fabric.Params.with_ecn Fabric.Params.default in
+    let engine = Engine.create () in
+    let acdc_cfg =
+      {
+        (Fabric.Params.acdc_config params) with
+        Acdc.Config.policy = (fun _ -> { Acdc.Config.default_policy with algorithm });
+      }
+    in
+    let net = Fabric.Topology.dumbbell engine ~params ~acdc:(fun _ -> Some acdc_cfg) ~pairs:5 () in
+    (* The tenant runs CUBIC — aggressive, loss-based, no ECN.  RWND
+       enforcement can only *shrink* a flow's window (§3.3), so the fabric
+       behaviour tracks whichever algorithm is more conservative; with an
+       aggressive tenant, that is the vSwitch's. *)
+    let config = Fabric.Params.tcp_config params ~cc:Tcp.Cubic.factory ~ecn:false in
+    let conns =
+      List.init 5 (fun i ->
+          let conn =
+            Fabric.Conn.establish
+              ~src:(Fabric.Topology.host net i)
+              ~dst:(Fabric.Topology.host net (5 + i))
+              ~config ()
+          in
+          Fabric.Conn.send_forever conn;
+          conn)
+    in
+    let probe =
+      Workload.Probe.start ~src:(Fabric.Topology.host net 0) ~dst:(Fabric.Topology.host net 5)
+        ~config ()
+    in
+    let tputs =
+      Harness.measure_goodput net conns ~warmup:(Time_ns.ms 300) ~duration:(Time_ns.sec duration)
+    in
+    Fabric.Topology.shutdown net;
+    let samples = Workload.Probe.samples_ms probe in
+    {
+      vswitch_algorithm = name;
+      tputs;
+      fairness = Dcstats.Fairness.index (Array.of_list tputs);
+      rtt_p50_ms = Harness.pctl samples 50.0;
+      rtt_p99_ms = Harness.pctl samples 99.0;
+    }
+
+  let run ?(duration = 1.0) () = List.map (one ~duration) algorithms
+
+  let print result =
+    Harness.print_header "any-CC enforcement"
+      "a CUBIC tenant made to behave like whatever the vSwitch runs";
+    Harness.print_row "vSwitch algorithm" "%10s %10s %12s %12s" "tput" "fairness" "p50 RTT ms"
+      "p99 RTT ms";
+    List.iter
+      (fun r ->
+        Harness.print_row r.vswitch_algorithm "%10.2f %10.3f %12.3f %12.3f"
+          (List.fold_left ( +. ) 0.0 r.tputs /. float_of_int (List.length r.tputs))
+          r.fairness r.rtt_p50_ms r.rtt_p99_ms)
+      result
+end

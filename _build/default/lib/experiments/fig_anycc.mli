@@ -1,0 +1,25 @@
+(** Extension: §1's claim generalized — "runs the congestion control logic
+    specified by an administrator" means *any* algorithm, not just DCTCP.
+
+    Fixes the tenant stack (CUBIC, no ECN) and sweeps the algorithm the
+    vSwitch enforces.  The fabric behaviour follows the vSwitch algorithm,
+    not the tenant: every ECN-reactive law (DCTCP, or classic stacks run
+    through the Custom path, which treat CE as a once-per-window cut) holds
+    the queue near the marking threshold, while the deliberately ECN-blind
+    Reno-like WAN profile fills the buffer like an unmanaged stack.  (The
+    converse shaping is impossible by design: RWND can only shrink a
+    window, so a vSwitch cannot make a timid tenant aggressive — §3.3.) *)
+module Any_cc : sig
+  type row = {
+    vswitch_algorithm : string;
+    tputs : float list;
+    fairness : float;
+    rtt_p50_ms : float;
+    rtt_p99_ms : float;
+  }
+
+  type result = row list
+
+  val run : ?duration:float -> unit -> result
+  val print : result -> unit
+end

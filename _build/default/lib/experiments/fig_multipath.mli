@@ -1,0 +1,28 @@
+(** §2.3's multipath argument, as an experiment (extension: not a figure in
+    the paper, but the claim its bandwidth-allocation discussion rests on).
+
+    "The single switch abstraction ... explicitly assumes a congestion-free
+    fabric ... This abstraction doesn't hold in multi-pathed topologies
+    when ... ECMP hash collisions cause congestion in the core."
+
+    On a leaf-spine fabric, several flows between the same pair of leaves
+    hash unevenly over the spines; the loaded spine link congests even
+    though every edge link is underloaded — so edge-based VM-level
+    allocation cannot see or fix it, while per-flow congestion control
+    (AC/DC) reacts on the affected flows only. *)
+module Ecmp : sig
+  type row = {
+    scheme : string;
+    spine_flows : int list;  (** how many flows ECMP hashed to each spine *)
+    flow_tputs : float list;
+    fairness : float;
+    rtt_p50_ms : float;
+    rtt_p99_ms : float;
+    max_core_queue : int;  (** bytes, hottest spine-facing port *)
+  }
+
+  type result = row list
+
+  val run : ?flows:int -> ?duration:float -> unit -> result
+  val print : result -> unit
+end

@@ -1,0 +1,10 @@
+(** Name -> experiment runner, for the CLI and the bench harness.
+
+    Each runner executes the experiment at its default (scaled-down)
+    parameters and prints the paper-shaped rows/series to stdout. *)
+
+type entry = { id : string; title : string; run : unit -> unit }
+
+val all : entry list
+val find : string -> entry option
+val ids : string list

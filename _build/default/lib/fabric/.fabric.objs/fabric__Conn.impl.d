@@ -1,0 +1,1 @@
+lib/fabric/conn.ml: Dcpkt Eventsim Host List Option Tcp

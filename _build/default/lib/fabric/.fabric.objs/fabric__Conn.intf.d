@@ -1,0 +1,1 @@
+lib/fabric/conn.mli: Dcpkt Eventsim Host Tcp

@@ -1,0 +1,1 @@
+lib/fabric/host.ml: Acdc Dcpkt Eventsim Option Tcp Vswitch

@@ -1,0 +1,1 @@
+lib/fabric/host.mli: Acdc Dcpkt Eventsim Tcp Vswitch

@@ -1,0 +1,1 @@
+lib/fabric/params.ml: Acdc Eventsim Netsim Option Tcp

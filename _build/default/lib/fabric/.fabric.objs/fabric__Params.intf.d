@@ -1,0 +1,1 @@
+lib/fabric/params.mli: Acdc Eventsim Netsim Tcp

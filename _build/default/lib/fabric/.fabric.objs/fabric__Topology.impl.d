@@ -1,0 +1,1 @@
+lib/fabric/topology.ml: Acdc Array Eventsim Host Netsim Option Params

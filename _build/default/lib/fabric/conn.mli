@@ -1,0 +1,44 @@
+(** A TCP connection between two hosts: client endpoint (data sender) on
+    [src], server endpoint on [dst], wired through both hosts' datapaths
+    and established with a real three-way handshake (so the vSwitch sees
+    SYN/SYN-ACK and can build its flow entries). *)
+
+type t
+
+val establish :
+  src:Host.t ->
+  dst:Host.t ->
+  ?config:Tcp.Endpoint.config ->
+  ?server_config:Tcp.Endpoint.config ->
+  ?at:Eventsim.Time_ns.t ->
+  unit ->
+  t
+(** Schedules the SYN at [at] (default: immediately).  [config] is the
+    client's tenant-stack configuration; the server inherits it unless
+    [server_config] is given. *)
+
+val client : t -> Tcp.Endpoint.t
+val server : t -> Tcp.Endpoint.t
+val key : t -> Dcpkt.Flow_key.t
+(** Data-direction flow key (client -> server). *)
+
+val on_established : t -> (unit -> unit) -> unit
+val send_forever : t -> unit
+(** Start a saturating source once established. *)
+
+val stop : t -> unit
+
+val send_message : t -> bytes:int -> on_complete:(Eventsim.Time_ns.t -> unit) -> unit
+(** Queue a message once established (immediately if already up). *)
+
+val goodput_gbps : t -> over:Eventsim.Time_ns.t -> float
+(** Average goodput given the measurement duration. *)
+
+val bytes_acked : t -> int
+val close : t -> unit
+
+val teardown : t -> after:Eventsim.Time_ns.t -> unit
+(** Close the connection and unregister both endpoints from their hosts
+    [after] a grace period (so the FIN exchange and any straggling
+    retransmissions drain).  Required for long churn workloads, or host
+    demux tables grow without bound. *)

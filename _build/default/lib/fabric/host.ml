@@ -1,0 +1,69 @@
+module Engine = Eventsim.Engine
+module Packet = Dcpkt.Packet
+module Flow_key = Dcpkt.Flow_key
+
+type t = {
+  ip : int;
+  engine : Engine.t;
+  datapath : Vswitch.Datapath.t;
+  acdc : Acdc.t option;
+  endpoints : Tcp.Endpoint.t Flow_key.Table.t; (* keyed by the emitting direction *)
+  mutable nic : Packet.t -> unit;
+  mutable next_port : int;
+  mutable no_route_drops : int;
+}
+
+let demux t (pkt : Packet.t) =
+  match Flow_key.Table.find_opt t.endpoints (Flow_key.reverse pkt.Packet.key) with
+  | Some endpoint -> Tcp.Endpoint.input endpoint pkt
+  | None -> t.no_route_drops <- t.no_route_drops + 1
+
+let create engine ~ip ?acdc () =
+  let datapath = Vswitch.Datapath.create () in
+  let acdc =
+    Option.map
+      (fun config ->
+        let instance = Acdc.create engine config in
+        Acdc.attach instance datapath;
+        instance)
+      acdc
+  in
+  let t =
+    {
+      ip;
+      engine;
+      datapath;
+      acdc;
+      endpoints = Flow_key.Table.create 64;
+      nic = ignore;
+      next_port = 10_000;
+      no_route_drops = 0;
+    }
+  in
+  Option.iter (fun instance -> Acdc.set_vm_injector instance (fun pkt -> demux t pkt)) acdc;
+  t
+
+let ip t = t.ip
+let engine t = t.engine
+let datapath t = t.datapath
+let acdc t = t.acdc
+let set_nic t f = t.nic <- f
+
+let egress t pkt = Vswitch.Datapath.process_egress t.datapath pkt ~emit:(fun p -> t.nic p)
+
+let deliver t pkt = Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:(fun p -> demux t p)
+
+let register_endpoint t endpoint =
+  Flow_key.Table.replace t.endpoints (Tcp.Endpoint.key endpoint) endpoint
+
+let unregister_endpoint t endpoint =
+  Flow_key.Table.remove t.endpoints (Tcp.Endpoint.key endpoint)
+
+let fresh_port t =
+  let port = t.next_port in
+  t.next_port <- t.next_port + 1;
+  port
+
+let no_route_drops t = t.no_route_drops
+
+let shutdown t = match t.acdc with Some a -> Acdc.shutdown a | None -> ()

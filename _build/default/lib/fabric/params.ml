@@ -1,0 +1,46 @@
+module Time_ns = Eventsim.Time_ns
+
+type t = {
+  link_rate_bps : int;
+  link_delay : Time_ns.t;
+  mtu : int;
+  buffer_bytes : int;
+  dt_alpha : float;
+  mark_threshold : int option;
+  nic_rate_bps : int option;
+  link_jitter : Time_ns.t;
+}
+
+let default =
+  {
+    link_rate_bps = 10_000_000_000;
+    link_delay = Time_ns.us 5;
+    mtu = 9000;
+    buffer_bytes = 9 * 1024 * 1024;
+    dt_alpha = 1.0;
+    mark_threshold = None;
+    nic_rate_bps = None;
+    link_jitter = Time_ns.ns 200;
+  }
+
+let mss t = t.mtu - 40
+
+let with_mtu t mtu = { t with mtu }
+
+let with_ecn t = { t with mark_threshold = Some 100_000 }
+
+let ecn_config t =
+  Option.map
+    (fun k -> { Netsim.Switch.mark_threshold = k; byte_mode_ref = Some t.mtu })
+    t.mark_threshold
+
+let tcp_config t ~cc ~ecn =
+  {
+    Tcp.Endpoint.default_config with
+    mss = mss t;
+    cc;
+    ecn_capable = ecn;
+    accurate_ecn_echo = ecn;
+  }
+
+let acdc_config t = Acdc.Config.default ~mss:(mss t)

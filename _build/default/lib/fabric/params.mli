@@ -1,0 +1,37 @@
+(** Fabric-wide parameters mirroring the paper's testbed: 10 GbE links,
+    9 MB shared-buffer switches, and WRED/ECN marking when the experiment
+    calls for it. *)
+
+type t = {
+  link_rate_bps : int;
+  link_delay : Eventsim.Time_ns.t;  (** per-hop propagation delay *)
+  mtu : int;
+  buffer_bytes : int;  (** switch shared buffer *)
+  dt_alpha : float;  (** dynamic-threshold buffer factor *)
+  mark_threshold : int option;  (** [Some k] enables WRED/ECN at [k] bytes *)
+  nic_rate_bps : int option;
+      (** Rate-limit host NICs below the fabric rate — models the
+          per-tenant rate limiters of Fig. 2 ([None]: NICs run at link
+          rate). *)
+  link_jitter : Eventsim.Time_ns.t;
+      (** Per-delivery uniform timing noise; keeps a deterministic
+          simulation from phase-locking queues (default 200 ns). *)
+}
+
+val default : t
+(** 10 Gb/s, 5 us per hop, 9000-byte MTU, 9 MB buffer, ECN off. *)
+
+val mss : t -> int
+val with_mtu : t -> int -> t
+val with_ecn : t -> t
+(** Enable WRED/ECN at the conventional DCTCP threshold (~100 KB at
+    10 Gb/s). *)
+
+val ecn_config : t -> Netsim.Switch.ecn_config option
+
+val tcp_config : t -> cc:Tcp.Cc.factory -> ecn:bool -> Tcp.Endpoint.config
+(** Tenant-stack configuration matched to the fabric MTU.  [ecn] sets both
+    ECT marking and accurate (DCTCP-style) ECN echo. *)
+
+val acdc_config : t -> Acdc.Config.t
+(** AC/DC defaults matched to the fabric MTU. *)

@@ -1,0 +1,54 @@
+(** The paper's experiment topologies (Fig. 7), fully wired: hosts with
+    vSwitch datapaths, NIC transmit queues, switches with routes.
+
+    [acdc] selects per host whether an AC/DC instance is installed
+    (given the host index); the default installs nothing. *)
+
+type t = {
+  engine : Eventsim.Engine.t;
+  params : Params.t;
+  switches : Netsim.Switch.t array;
+  hosts : Host.t array;
+}
+
+type acdc_select = int -> Acdc.Config.t option
+
+val no_acdc : acdc_select
+val acdc_everywhere : Params.t -> acdc_select
+
+val dumbbell : Eventsim.Engine.t -> ?params:Params.t -> ?acdc:acdc_select -> pairs:int -> unit -> t
+(** Fig. 7a: [pairs] senders on one switch, [pairs] receivers on the other,
+    one trunk between them.  Hosts [0 .. pairs-1] are senders, hosts
+    [pairs .. 2*pairs-1] the matching receivers. *)
+
+val star : Eventsim.Engine.t -> ?params:Params.t -> ?acdc:acdc_select -> hosts:int -> unit -> t
+(** Single switch, [hosts] ports — the §5.2 macrobenchmark fabric. *)
+
+val parking_lot :
+  Eventsim.Engine.t -> ?params:Params.t -> ?acdc:acdc_select -> senders:int -> unit -> t
+(** Fig. 7b: a chain of [senders] switches; sender [i] sits on switch [i],
+    the single receiver (host index [senders]) hangs off the last switch,
+    so flow [i] crosses [senders - 1 - i] trunk hops plus the shared
+    receiver link. *)
+
+val leaf_spine :
+  Eventsim.Engine.t ->
+  ?params:Params.t ->
+  ?acdc:acdc_select ->
+  leaves:int ->
+  spines:int ->
+  hosts_per_leaf:int ->
+  unit ->
+  t
+(** A two-tier Clos: [leaves] leaf switches each with [hosts_per_leaf]
+    hosts, fully meshed to [spines] spine switches; inter-leaf traffic is
+    ECMP-hashed over the spines.  Host [l * hosts_per_leaf + i] is host [i]
+    of leaf [l]; switches are ordered leaves first, then spines. *)
+
+val host : t -> int -> Host.t
+val shutdown : t -> unit
+(** Cancel vSwitch timers on every host so the event queue can drain. *)
+
+val total_switch_drops : t -> int
+val total_forwarded : t -> int
+val drop_rate : t -> float

@@ -1,0 +1,1 @@
+lib/netsim/switch.ml: Array Dcpkt Eventsim Hashtbl Stdlib Txq

@@ -1,0 +1,1 @@
+lib/netsim/txq.ml: Dcpkt Eventsim Queue

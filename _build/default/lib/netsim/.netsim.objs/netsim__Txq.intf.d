@@ -1,0 +1,1 @@
+lib/netsim/txq.mli: Dcpkt Eventsim

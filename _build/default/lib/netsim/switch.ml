@@ -1,0 +1,152 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Packet = Dcpkt.Packet
+
+type ecn_config = { mark_threshold : int; byte_mode_ref : int option }
+
+type port = {
+  txq : Txq.t;
+  mutable drops : int;
+  mutable max_queue : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Eventsim.Rng.t;
+  name : string;
+  buffer_capacity : int;
+  dt_alpha : float;
+  ecn : ecn_config option;
+  mutable ports : port array;
+  routes : (int, int array) Hashtbl.t;
+  mutable buffer_used : int;
+  mutable forwarded_packets : int;
+  mutable forwarded_bytes : int;
+  mutable input_packets : int;
+  mutable total_drops : int;
+  mutable wred_drops : int;
+  mutable ce_marks : int;
+}
+
+let create engine ?(name = "sw") ?(buffer_capacity = 9 * 1024 * 1024) ?(dt_alpha = 1.0) ?ecn
+    () =
+  {
+    engine;
+    rng = Eventsim.Rng.create ~seed:(Hashtbl.hash name + buffer_capacity);
+    name;
+    buffer_capacity;
+    dt_alpha;
+    ecn;
+    ports = [||];
+    routes = Hashtbl.create 64;
+    buffer_used = 0;
+    forwarded_packets = 0;
+    forwarded_bytes = 0;
+    input_packets = 0;
+    total_drops = 0;
+    wred_drops = 0;
+    ce_marks = 0;
+  }
+
+let add_port t ~rate_bps ~prop_delay ?jitter ~deliver () =
+  let txq = Txq.create t.engine ~rate_bps ~prop_delay ~jitter ~deliver in
+  let port = { txq; drops = 0; max_queue = 0 } in
+  Txq.set_on_tx_complete txq (fun pkt -> t.buffer_used <- t.buffer_used - Packet.wire_size pkt);
+  t.ports <- Array.append t.ports [| port |];
+  Array.length t.ports - 1
+
+let add_route t ~dst_ip ~port = Hashtbl.replace t.routes dst_ip [| port |]
+
+let add_routes t ~dst_ip ~ports =
+  assert (ports <> []);
+  Hashtbl.replace t.routes dst_ip (Array.of_list ports)
+
+let dynamic_threshold t =
+  (* Classic dynamic thresholds (Choudhury & Hahne): a port may queue up to
+     alpha times the unused share of the buffer pool. *)
+  int_of_float (t.dt_alpha *. float_of_int (t.buffer_capacity - t.buffer_used))
+
+let drop t port_opt =
+  t.total_drops <- t.total_drops + 1;
+  match port_opt with None -> () | Some p -> p.drops <- p.drops + 1
+
+let input t pkt =
+  t.input_packets <- t.input_packets + 1;
+  match Hashtbl.find_opt t.routes pkt.Packet.key.dst_ip with
+  | None -> drop t None
+  | Some group ->
+    (* ECMP: the same 5-tuple always hashes to the same member port, so a
+       flow's packets stay in order. *)
+    let idx =
+      if Array.length group = 1 then group.(0)
+      else group.(Dcpkt.Flow_key.hash pkt.Packet.key mod Array.length group)
+    in
+    let port = t.ports.(idx) in
+    let size = Packet.wire_size pkt in
+    let qbytes = Txq.queued_bytes port.txq in
+    if t.buffer_used + size > t.buffer_capacity || qbytes + size > dynamic_threshold t then
+      drop t (Some port)
+    else begin
+      let admitted =
+        match t.ecn with
+        | Some { mark_threshold; byte_mode_ref } when qbytes + size > mark_threshold ->
+          if Packet.is_ect pkt then begin
+            pkt.Packet.ecn <- Packet.Ce;
+            t.ce_marks <- t.ce_marks + 1;
+            true
+          end
+          else begin
+            (* WRED treats over-threshold non-ECT packets as congestion
+               drops — the root of the ECN coexistence problem (§5.1).
+               Byte-mode scales the drop probability by packet size. *)
+            let doomed =
+              match byte_mode_ref with
+              | None -> true
+              | Some ref_size ->
+                Eventsim.Rng.int t.rng ref_size < Stdlib.min ref_size size
+            in
+            if doomed then begin
+              drop t (Some port);
+              t.wred_drops <- t.wred_drops + 1
+            end;
+            not doomed
+          end
+        | Some _ | None -> true
+      in
+      if admitted then begin
+        t.buffer_used <- t.buffer_used + size;
+        t.forwarded_packets <- t.forwarded_packets + 1;
+        t.forwarded_bytes <- t.forwarded_bytes + size;
+        Txq.enqueue port.txq pkt;
+        let q = Txq.queued_bytes port.txq in
+        if q > port.max_queue then port.max_queue <- q
+      end
+    end
+
+let port_queue_bytes t idx = Txq.queued_bytes t.ports.(idx).txq
+let buffer_used t = t.buffer_used
+let forwarded_packets t = t.forwarded_packets
+let forwarded_bytes t = t.forwarded_bytes
+let drops t = t.total_drops
+let wred_drops t = t.wred_drops
+let ce_marks t = t.ce_marks
+let port_drops t idx = t.ports.(idx).drops
+let max_port_queue t idx = t.ports.(idx).max_queue
+
+let drop_rate t =
+  if t.input_packets = 0 then 0.0 else float_of_int t.total_drops /. float_of_int t.input_packets
+
+let name t = t.name
+
+let reset_counters t =
+  t.forwarded_packets <- 0;
+  t.forwarded_bytes <- 0;
+  t.input_packets <- 0;
+  t.total_drops <- 0;
+  t.wred_drops <- 0;
+  t.ce_marks <- 0;
+  Array.iter
+    (fun p ->
+      p.drops <- 0;
+      p.max_queue <- 0)
+    t.ports

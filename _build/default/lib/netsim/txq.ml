@@ -1,0 +1,62 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Packet = Dcpkt.Packet
+
+type t = {
+  engine : Engine.t;
+  rate_bps : int;
+  prop_delay : Time_ns.t;
+  jitter : (Eventsim.Rng.t * Time_ns.t) option;
+  deliver : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable queued_bytes : int;
+  mutable busy : bool;
+  mutable on_tx_complete : Packet.t -> unit;
+}
+
+let create engine ~rate_bps ~prop_delay ~jitter ~deliver =
+  assert (rate_bps > 0);
+  {
+    engine;
+    rate_bps;
+    prop_delay;
+    jitter;
+    deliver;
+    queue = Queue.create ();
+    queued_bytes = 0;
+    busy = false;
+    on_tx_complete = ignore;
+  }
+
+let set_on_tx_complete t f = t.on_tx_complete <- f
+
+let queued_bytes t = t.queued_bytes
+let queued_packets t = Queue.length t.queue
+let rate_bps t = t.rate_bps
+let busy t = t.busy
+
+let tx_time t ~bytes = bytes * 8 * 1_000_000_000 / t.rate_bps
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let size = Packet.wire_size pkt in
+    let finish () =
+      t.queued_bytes <- t.queued_bytes - size;
+      t.on_tx_complete pkt;
+      let delay =
+        match t.jitter with
+        | Some (rng, j) when j > 0 -> Time_ns.add t.prop_delay (Eventsim.Rng.int rng j)
+        | Some _ | None -> t.prop_delay
+      in
+      Engine.schedule_after t.engine ~delay (fun () -> t.deliver pkt);
+      start_next t
+    in
+    Engine.schedule_after t.engine ~delay:(tx_time t ~bytes:size) finish
+
+let enqueue t pkt =
+  t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
+  Queue.add pkt t.queue;
+  if not t.busy then start_next t

@@ -1,0 +1,35 @@
+(** A serializing transmit queue: the output side of a NIC or switch port.
+
+    Packets are transmitted FIFO at [rate_bps]; each occupies the "wire"
+    for [wire_size * 8 / rate] and is delivered [prop_delay] after its
+    transmission completes.  The queue itself is unbounded — admission
+    control (switch buffer management) happens before [enqueue]. *)
+
+type t
+
+val create :
+  Eventsim.Engine.t ->
+  rate_bps:int ->
+  prop_delay:Eventsim.Time_ns.t ->
+  jitter:(Eventsim.Rng.t * Eventsim.Time_ns.t) option ->
+  deliver:(Dcpkt.Packet.t -> unit) ->
+  t
+(** [jitter (rng, j)] adds a uniform 0..j delay to each delivery — the
+    sub-microsecond timing noise of real links.  Without it a deterministic
+    simulation can phase-lock queues at artificial equilibria. *)
+
+val enqueue : t -> Dcpkt.Packet.t -> unit
+
+val set_on_tx_complete : t -> (Dcpkt.Packet.t -> unit) -> unit
+(** Invoked when a packet finishes serializing (its buffer is freed). *)
+
+val queued_bytes : t -> int
+(** Wire bytes currently held, including the packet being transmitted. *)
+
+val queued_packets : t -> int
+val rate_bps : t -> int
+
+val tx_time : t -> bytes:int -> Eventsim.Time_ns.t
+(** Serialization delay of [bytes] at this queue's rate. *)
+
+val busy : t -> bool

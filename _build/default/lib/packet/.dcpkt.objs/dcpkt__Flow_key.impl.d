@@ -1,0 +1,1 @@
+lib/packet/flow_key.ml: Format Hashtbl Int

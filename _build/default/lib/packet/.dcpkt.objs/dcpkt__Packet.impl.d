@@ -1,0 +1,1 @@
+lib/packet/packet.ml: Eventsim Flow_key Format List

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Eventsim Flow_key Format

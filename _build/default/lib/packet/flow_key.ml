@@ -1,0 +1,42 @@
+type t = { src_ip : int; dst_ip : int; src_port : int; dst_port : int }
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port = { src_ip; dst_ip; src_port; dst_port }
+
+let reverse t =
+  { src_ip = t.dst_ip; dst_ip = t.src_ip; src_port = t.dst_port; dst_port = t.src_port }
+
+let equal a b =
+  a.src_ip = b.src_ip && a.dst_ip = b.dst_ip && a.src_port = b.src_port
+  && a.dst_port = b.dst_port
+
+let hash t =
+  (* Combine the fields, then run a murmur-style finalizer: low bits must
+     avalanche because ECMP takes [hash mod nports]. *)
+  let h = (t.src_ip * 0x1000193) lxor (t.dst_ip * 0x9E3779B1) in
+  let h = h lxor (t.src_port * 0x85EBCA77) lxor (t.dst_port * 0xC2B2AE3D) in
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x85EBCA6B in
+  let h = h lxor (h lsr 13) in
+  let h = h * 0xC2B2AE35 in
+  let h = h lxor (h lsr 16) in
+  h land max_int
+
+let compare a b =
+  match Int.compare a.src_ip b.src_ip with
+  | 0 -> (
+    match Int.compare a.dst_ip b.dst_ip with
+    | 0 -> (
+      match Int.compare a.src_port b.src_port with
+      | 0 -> Int.compare a.dst_port b.dst_port
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let pp fmt t = Format.fprintf fmt "%d:%d>%d:%d" t.src_ip t.src_port t.dst_ip t.dst_port
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,17 @@
+(** Connection identity: the classic 5-tuple (protocol is implicitly TCP;
+    the paper also hashes the VLAN, which we model as part of the IP). *)
+
+type t = { src_ip : int; dst_ip : int; src_port : int; dst_port : int }
+
+val make : src_ip:int -> dst_ip:int -> src_port:int -> dst_port:int -> t
+
+val reverse : t -> t
+(** The key of the opposite direction of the same connection. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Hashtbl keyed by flow. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,120 @@
+type ecn = Not_ect | Ect0 | Ect1 | Ce
+
+type tcp_option =
+  | Mss of int
+  | Window_scale of int
+  | Pack of { total_bytes : int; marked_bytes : int }
+  | Sack of (int * int) list
+
+type t = {
+  id : int;
+  key : Flow_key.t;
+  mutable seq : int;
+  mutable ack : int;
+  mutable syn : bool;
+  mutable fin : bool;
+  mutable rst : bool;
+  mutable has_ack : bool;
+  mutable ece : bool;
+  mutable cwr : bool;
+  mutable ecn : ecn;
+  mutable vm_ect : bool;
+  mutable rwnd_field : int;
+  mutable options : tcp_option list;
+  payload : int;
+  mutable sent_at : Eventsim.Time_ns.t;
+}
+
+let next_id = ref 0
+
+let reset_ids () = next_id := 0
+
+let make ~key ?(seq = 0) ?(ack = 0) ?(syn = false) ?(fin = false) ?(rst = false)
+    ?(has_ack = false) ?(ecn = Not_ect) ?(rwnd_field = 0xFFFF) ?(options = []) ~payload () =
+  incr next_id;
+  {
+    id = !next_id;
+    key;
+    seq;
+    ack;
+    syn;
+    fin;
+    rst;
+    has_ack;
+    ece = false;
+    cwr = false;
+    ecn;
+    vm_ect = false;
+    rwnd_field;
+    options;
+    payload;
+    sent_at = Eventsim.Time_ns.zero;
+  }
+
+let option_bytes = function
+  | Mss _ -> 4
+  | Window_scale _ -> 3
+  | Pack _ -> 8 (* the paper's PACK option adds 8 bytes to the ACK *)
+  | Sack blocks -> 2 + (8 * List.length blocks)
+
+(* 14 Ethernet + 20 IP + 20 TCP. *)
+let base_header = 54
+
+let header_bytes t = base_header + List.fold_left (fun acc o -> acc + option_bytes o) 0 t.options
+
+let wire_size t = header_bytes t + t.payload
+
+let seq_end t =
+  let ctrl = (if t.syn then 1 else 0) + if t.fin then 1 else 0 in
+  t.seq + t.payload + ctrl
+
+let is_ect t = match t.ecn with Not_ect -> false | Ect0 | Ect1 | Ce -> true
+
+let find_option t ~f =
+  let rec search = function
+    | [] -> None
+    | o :: rest -> ( match f o with Some _ as r -> r | None -> search rest)
+  in
+  search t.options
+
+let same_constructor a b =
+  match (a, b) with
+  | Mss _, Mss _ | Window_scale _, Window_scale _ | Pack _, Pack _ | Sack _, Sack _ -> true
+  | (Mss _ | Window_scale _ | Pack _ | Sack _), _ -> false
+
+let set_option t o =
+  t.options <- o :: List.filter (fun existing -> not (same_constructor existing o)) t.options
+
+let remove_pack t =
+  t.options <-
+    List.filter (function Pack _ -> false | Mss _ | Window_scale _ | Sack _ -> true) t.options
+
+let wscale t =
+  find_option t ~f:(function Window_scale s -> Some s | Mss _ | Pack _ | Sack _ -> None)
+
+let pack_info t =
+  find_option t ~f:(function
+    | Pack { total_bytes; marked_bytes } -> Some (total_bytes, marked_bytes)
+    | Mss _ | Window_scale _ | Sack _ -> None)
+
+let sack_blocks t =
+  match
+    find_option t ~f:(function Sack b -> Some b | Mss _ | Window_scale _ | Pack _ -> None)
+  with
+  | Some blocks -> blocks
+  | None -> []
+
+let pp_ecn fmt = function
+  | Not_ect -> Format.pp_print_string fmt "-"
+  | Ect0 -> Format.pp_print_string fmt "ECT0"
+  | Ect1 -> Format.pp_print_string fmt "ECT1"
+  | Ce -> Format.pp_print_string fmt "CE"
+
+let pp fmt t =
+  Format.fprintf fmt "#%d %a seq=%d ack=%d%s%s%s%s len=%d ecn=%a rwnd=%d" t.id Flow_key.pp
+    t.key t.seq t.ack
+    (if t.syn then " SYN" else "")
+    (if t.fin then " FIN" else "")
+    (if t.has_ack then " ACK" else "")
+    (if t.ece then " ECE" else "")
+    t.payload pp_ecn t.ecn t.rwnd_field

@@ -1,0 +1,90 @@
+(** The simulator's unit of transmission: one TCP/IP segment.
+
+    Because Open vSwitch sits above TSO/GRO, AC/DC operates on segments
+    rather than wire packets; we model the same granularity.  Fields the
+    vSwitch may rewrite (ECN bits, receive window, options) are mutable —
+    the same packet value flows through the whole pipeline, exactly like an
+    [skb] in the kernel. *)
+
+(** IP-header ECN codepoint. *)
+type ecn = Not_ect | Ect0 | Ect1 | Ce
+
+type tcp_option =
+  | Mss of int
+  | Window_scale of int  (** shift count, SYN/SYN-ACK only *)
+  | Pack of { total_bytes : int; marked_bytes : int }
+      (** AC/DC Piggy-backed ACK: cumulative bytes received / bytes received
+          with CE, reported by the AC/DC receiver module (§3.2). *)
+  | Sack of (int * int) list
+      (** RFC 2018 selective acknowledgement blocks ([start, stop)); the
+          paper's hosts run with [tcp_sack = 1]. *)
+
+type t = {
+  id : int;  (** unique per simulation run, for tracing *)
+  key : Flow_key.t;
+  mutable seq : int;  (** sequence number of the first payload byte *)
+  mutable ack : int;  (** cumulative acknowledgement number *)
+  mutable syn : bool;
+  mutable fin : bool;
+  mutable rst : bool;
+  mutable has_ack : bool;
+  mutable ece : bool;  (** TCP ECN-Echo flag *)
+  mutable cwr : bool;  (** TCP Congestion-Window-Reduced flag *)
+  mutable ecn : ecn;  (** IP ECN codepoint *)
+  mutable vm_ect : bool;
+      (** AC/DC's reserved header bit: set by the sender module when the
+          VM's own stack marked the packet ECN-capable, so edges can restore
+          the original setting (§3.2). *)
+  mutable rwnd_field : int;  (** 16-bit window field, before scaling *)
+  mutable options : tcp_option list;
+  payload : int;  (** payload bytes (0 for pure ACKs) *)
+  mutable sent_at : Eventsim.Time_ns.t;  (** stamped by the sending endpoint *)
+}
+
+val reset_ids : unit -> unit
+(** Reset the global id counter (test isolation). *)
+
+val make :
+  key:Flow_key.t ->
+  ?seq:int ->
+  ?ack:int ->
+  ?syn:bool ->
+  ?fin:bool ->
+  ?rst:bool ->
+  ?has_ack:bool ->
+  ?ecn:ecn ->
+  ?rwnd_field:int ->
+  ?options:tcp_option list ->
+  payload:int ->
+  unit ->
+  t
+
+val header_bytes : t -> int
+(** Ethernet + IP + TCP header bytes including options. *)
+
+val wire_size : t -> int
+(** [header_bytes + payload]: the size that occupies link and buffer. *)
+
+val seq_end : t -> int
+(** Sequence number just past this segment's payload (SYN/FIN occupy one
+    sequence number each, per TCP). *)
+
+val is_ect : t -> bool
+(** ECN-capable transport (ECT(0), ECT(1) or CE). *)
+
+val find_option : t -> f:(tcp_option -> 'a option) -> 'a option
+val set_option : t -> tcp_option -> unit
+(** Replace any same-constructor option with the given one. *)
+
+val remove_pack : t -> unit
+
+val wscale : t -> int option
+(** Window-scale shift carried in a SYN/SYN-ACK, if any. *)
+
+val sack_blocks : t -> (int * int) list
+(** SACK blocks, or [] if none. *)
+
+val pack_info : t -> (int * int) option
+(** [(total_bytes, marked_bytes)] from a PACK option, if present. *)
+
+val pp : Format.formatter -> t -> unit

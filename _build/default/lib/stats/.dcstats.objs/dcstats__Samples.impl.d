@@ -1,0 +1,1 @@
+lib/stats/samples.ml: Array Float List Stdlib

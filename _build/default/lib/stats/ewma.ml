@@ -1,0 +1,18 @@
+type t = { gain : float; mutable value : float; mutable seeded : bool }
+
+let create ~gain =
+  if gain <= 0.0 || gain > 1.0 then invalid_arg "Ewma.create: gain out of (0,1]";
+  { gain; value = 0.0; seeded = false }
+
+let create_seeded ~gain ~init =
+  if gain <= 0.0 || gain > 1.0 then invalid_arg "Ewma.create_seeded: gain out of (0,1]";
+  { gain; value = init; seeded = true }
+
+let update t x =
+  if t.seeded then t.value <- ((1.0 -. t.gain) *. t.value) +. (t.gain *. x)
+  else begin
+    t.value <- x;
+    t.seeded <- true
+  end
+
+let value t = t.value

@@ -1,0 +1,17 @@
+(** Exponentially-weighted moving average.
+
+    [update t x] computes [avg <- (1 - gain) * avg + gain * x], the form
+    DCTCP uses for its congestion-fraction estimate (gain = g). *)
+
+type t
+
+val create : gain:float -> t
+(** [gain] must lie in (0, 1]. *)
+
+val update : t -> float -> unit
+val value : t -> float
+(** Current average; the first update seeds it directly unless [create] was
+    given a different behaviour via [seed]. *)
+
+val create_seeded : gain:float -> init:float -> t
+(** Start from a known value instead of seeding with the first sample. *)

@@ -1,0 +1,6 @@
+let index allocations =
+  let n = Array.length allocations in
+  if n = 0 then invalid_arg "Fairness.index: empty";
+  let sum = Array.fold_left ( +. ) 0.0 allocations in
+  let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 allocations in
+  if sum_sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)

@@ -1,0 +1,8 @@
+(** Jain's fairness index over per-flow allocations.
+
+    [index [|x1; ...; xn|] = (sum xi)^2 / (n * sum xi^2)]; 1.0 is perfectly
+    fair, 1/n is maximally unfair (one flow gets everything). *)
+
+val index : float array -> float
+(** Raises [Invalid_argument] on an empty array.  An all-zero allocation is
+    defined to have index 1.0 (everyone equally starved). *)

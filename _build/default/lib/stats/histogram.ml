@@ -1,0 +1,91 @@
+type t = {
+  min_value : float;
+  buckets_per_decade : int;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ?(buckets_per_decade = 10) ~min_value ~decades () =
+  if min_value <= 0.0 then invalid_arg "Histogram.create: min_value must be positive";
+  if decades <= 0 || buckets_per_decade <= 0 then
+    invalid_arg "Histogram.create: need positive decades and buckets";
+  {
+    min_value;
+    buckets_per_decade;
+    counts = Array.make (decades * buckets_per_decade) 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+  }
+
+let bucket_index t v =
+  (* log10(v / min) * buckets_per_decade, floored. *)
+  int_of_float (Float.log10 (v /. t.min_value) *. float_of_int t.buckets_per_decade)
+
+(* Upper edge of bucket [i]. *)
+let bucket_edge t i =
+  t.min_value *. (10.0 ** (float_of_int (i + 1) /. float_of_int t.buckets_per_decade))
+
+let add t v =
+  t.total <- t.total + 1;
+  if v < t.min_value then t.underflow <- t.underflow + 1
+  else begin
+    let i = bucket_index t v in
+    if i >= Array.length t.counts then t.overflow <- t.overflow + 1
+    else t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let quantile t q =
+  if t.total = 0 then invalid_arg "Histogram.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: rank out of range";
+  let target = int_of_float (Float.of_int t.total *. q) in
+  let seen = ref t.underflow in
+  if !seen > target then t.min_value
+  else begin
+    let result = ref Float.nan in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + c;
+           if !seen > target then begin
+             result := bucket_edge t i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    if Float.is_nan !result then bucket_edge t (Array.length t.counts - 1) else !result
+  end
+
+let mean t =
+  if t.total = 0 then nan
+  else begin
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let lo = if i = 0 then t.min_value else bucket_edge t (i - 1) in
+          let mid = sqrt (lo *. bucket_edge t i) in
+          sum := !sum +. (float_of_int c *. mid)
+        end)
+      t.counts;
+    (* Fold the tails in at their edges. *)
+    sum := !sum +. (float_of_int t.underflow *. t.min_value);
+    sum := !sum +. (float_of_int t.overflow *. bucket_edge t (Array.length t.counts - 1));
+    !sum /. float_of_int t.total
+  end
+
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let pp fmt t =
+  Format.fprintf fmt "histogram n=%d" t.total;
+  if t.underflow > 0 then Format.fprintf fmt " <%g:%d" t.min_value t.underflow;
+  Array.iteri
+    (fun i c ->
+      if c > 0 then Format.fprintf fmt " %.3g:%d" (bucket_edge t i) c)
+    t.counts;
+  if t.overflow > 0 then Format.fprintf fmt " >max:%d" t.overflow

@@ -1,0 +1,29 @@
+(** Fixed-memory log-spaced histogram for latency-style quantities.
+
+    Complements {!Samples}: where [Samples] keeps every observation for
+    exact percentiles, a histogram absorbs unbounded streams in O(buckets)
+    memory — the right tool for per-packet measurements in long runs. *)
+
+type t
+
+val create : ?buckets_per_decade:int -> min_value:float -> decades:int -> unit -> t
+(** Buckets span [min_value, min_value * 10^decades) on a log scale,
+    [buckets_per_decade] (default 10) per decade; values outside the range
+    land in underflow/overflow buckets. *)
+
+val add : t -> float -> unit
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t 0.99]: upper edge of the bucket containing that rank —
+    exact to within one bucket's resolution.  Raises [Invalid_argument] if
+    the histogram is empty or the rank is outside [0, 1]. *)
+
+val mean : t -> float
+(** Approximate mean using bucket midpoints (geometric). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Compact ASCII rendering of the non-empty buckets. *)

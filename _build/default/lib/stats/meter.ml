@@ -1,0 +1,69 @@
+module Time_ns = Eventsim.Time_ns
+
+module Throughput = struct
+  type t = { mutable bytes : int }
+
+  let create () = { bytes = 0 }
+  let add_bytes t n = t.bytes <- t.bytes + n
+  let bytes t = t.bytes
+
+  let gbps t ~over =
+    if over <= 0 then 0.0
+    else float_of_int (t.bytes * 8) /. Time_ns.to_sec over /. 1e9
+
+  let reset t = t.bytes <- 0
+end
+
+module Series = struct
+  type t = {
+    mutable times : int array;
+    mutable values : float array;
+    mutable size : int;
+  }
+
+  let create () = { times = [||]; values = [||]; size = 0 }
+
+  let record t ~time v =
+    if t.size = Array.length t.times then begin
+      let cap = if t.size = 0 then 64 else 2 * t.size in
+      let times = Array.make cap 0 and values = Array.make cap 0.0 in
+      Array.blit t.times 0 times 0 t.size;
+      Array.blit t.values 0 values 0 t.size;
+      t.times <- times;
+      t.values <- values
+    end;
+    t.times.(t.size) <- time;
+    t.values.(t.size) <- v;
+    t.size <- t.size + 1
+
+  let length t = t.size
+
+  let to_list t = List.init t.size (fun i -> (t.times.(i), t.values.(i)))
+
+  let moving_average t ~window =
+    let result = ref [] in
+    let lo = ref 0 in
+    let sum = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      sum := !sum +. t.values.(i);
+      while t.times.(!lo) < t.times.(i) - window do
+        sum := !sum -. t.values.(!lo);
+        incr lo
+      done;
+      let n = i - !lo + 1 in
+      result := (t.times.(i), !sum /. float_of_int n) :: !result
+    done;
+    List.rev !result
+
+  let windowed_rate t ~bin ~until =
+    assert (bin > 0);
+    let bins = ((until + bin - 1) / bin) + 1 in
+    let acc = Array.make bins 0.0 in
+    for i = 0 to t.size - 1 do
+      let idx = t.times.(i) / bin in
+      if idx < bins then acc.(idx) <- acc.(idx) +. t.values.(i)
+    done;
+    let secs = Time_ns.to_sec bin in
+    List.init bins (fun i ->
+        (Time_ns.to_sec ((i + 1) * bin), acc.(i) *. 8.0 /. secs /. 1e9))
+end

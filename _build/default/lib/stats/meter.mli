@@ -1,0 +1,33 @@
+(** Byte meters and time-series recorders used by the experiment harness. *)
+
+(** Cumulative byte counter turned into throughput. *)
+module Throughput : sig
+  type t
+
+  val create : unit -> t
+  val add_bytes : t -> int -> unit
+  val bytes : t -> int
+
+  val gbps : t -> over:Eventsim.Time_ns.t -> float
+  (** Average goodput in Gbit/s over a duration. *)
+
+  val reset : t -> unit
+end
+
+(** (time, value) series, e.g. a congestion-window trace. *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val record : t -> time:Eventsim.Time_ns.t -> float -> unit
+  val length : t -> int
+  val to_list : t -> (Eventsim.Time_ns.t * float) list
+
+  val moving_average : t -> window:Eventsim.Time_ns.t -> (Eventsim.Time_ns.t * float) list
+  (** Trailing-window average of the series, sampled at each point. *)
+
+  val windowed_rate :
+    t -> bin:Eventsim.Time_ns.t -> until:Eventsim.Time_ns.t -> (float * float) list
+  (** Interpret values as byte increments; return [(bin_end_sec, gbps)] for
+      each [bin]-wide interval from 0 to [until]. *)
+end

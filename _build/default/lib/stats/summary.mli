@@ -1,0 +1,25 @@
+(** Online scalar summary: count, mean, variance, extrema.
+
+    Uses Welford's algorithm so a summary can absorb millions of samples
+    with O(1) memory and no catastrophic cancellation. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the samples; [nan] if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val merge : t -> t -> t
+(** Summary of the union of both sample streams. *)
+
+val pp : Format.formatter -> t -> unit

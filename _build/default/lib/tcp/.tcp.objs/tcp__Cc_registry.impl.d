@@ -1,0 +1,1 @@
+lib/tcp/cc_registry.ml: Cubic Dctcp_cc Highspeed Illinois List Reno Vegas

@@ -1,0 +1,1 @@
+lib/tcp/dctcp_cc.mli: Cc

@@ -1,0 +1,1 @@
+lib/tcp/endpoint.ml: Cc Cubic Dcpkt Eventsim List Logs Queue Rto Stdlib

@@ -1,0 +1,38 @@
+type view = {
+  now : unit -> Eventsim.Time_ns.t;
+  mss : int;
+  get_cwnd : unit -> int;
+  set_cwnd : int -> unit;
+  get_ssthresh : unit -> int;
+  set_ssthresh : int -> unit;
+  in_flight : unit -> int;
+  srtt : unit -> Eventsim.Time_ns.t option;
+}
+
+type congestion = Ecn | Dup_acks
+
+type t = {
+  name : string;
+  per_ack_ecn : bool;
+  on_ack : view -> acked:int -> rtt:Eventsim.Time_ns.t option -> ce_marked:bool -> unit;
+  on_congestion : view -> congestion -> unit;
+  on_rto : view -> unit;
+}
+
+type factory = unit -> t
+
+let max_cwnd = 1 lsl 30
+
+let clamp_cwnd view w = Stdlib.min max_cwnd (Stdlib.max (2 * view.mss) w)
+
+let reno_increase view ~acked =
+  let cwnd = view.get_cwnd () in
+  if cwnd < view.get_ssthresh () then
+    (* Slow start: one MSS per ACKed MSS (ABC with L=1). *)
+    view.set_cwnd (clamp_cwnd view (cwnd + Stdlib.min acked view.mss))
+  else begin
+    (* Congestion avoidance: cwnd += mss * mss / cwnd per ACK, i.e. one MSS
+       per window per RTT. *)
+    let increment = Stdlib.max 1 (view.mss * view.mss / Stdlib.max 1 cwnd) in
+    view.set_cwnd (clamp_cwnd view (cwnd + increment))
+  end

@@ -1,0 +1,49 @@
+(** Pluggable congestion control, mirroring Linux's [tcp_congestion_ops].
+
+    An algorithm is a record of callbacks closed over its private state; the
+    endpoint owns the canonical [cwnd]/[ssthresh] and exposes them through a
+    {!view}.  All window quantities are in bytes. *)
+
+type view = {
+  now : unit -> Eventsim.Time_ns.t;
+  mss : int;
+  get_cwnd : unit -> int;
+  set_cwnd : int -> unit;
+  get_ssthresh : unit -> int;
+  set_ssthresh : int -> unit;
+  in_flight : unit -> int;  (** bytes sent and not yet acknowledged *)
+  srtt : unit -> Eventsim.Time_ns.t option;  (** smoothed RTT, if sampled *)
+}
+
+(** Why the endpoint is reducing its rate. *)
+type congestion =
+  | Ecn  (** ECN-Echo received (classic, once-per-window semantics) *)
+  | Dup_acks  (** triple duplicate ACK: entering fast recovery *)
+
+type t = {
+  name : string;
+  per_ack_ecn : bool;
+      (** [true] for DCTCP-style algorithms that consume the ECE mark of
+          every ACK via [on_ack ~ce_marked] instead of the once-per-window
+          [on_congestion Ecn] path. *)
+  on_ack : view -> acked:int -> rtt:Eventsim.Time_ns.t option -> ce_marked:bool -> unit;
+      (** Cumulative ACK progress of [acked] bytes outside loss recovery.
+          Responsible for the algorithm's window increase. *)
+  on_congestion : view -> congestion -> unit;
+      (** Multiplicative decrease on entry to fast recovery / ECN cut.  Must
+          set both [ssthresh] and [cwnd]. *)
+  on_rto : view -> unit;
+      (** Retransmission timeout: endpoint already set [cwnd] to 1 MSS and
+          [ssthresh] to half the flight; hook for algorithm state resets. *)
+}
+
+type factory = unit -> t
+(** Fresh per-connection instance. *)
+
+val clamp_cwnd : view -> int -> int
+(** Clamp a proposed cwnd to [\[2 * mss, 2^30\]] — Linux's lower bound of two
+    segments and a sane upper bound. *)
+
+val reno_increase : view -> acked:int -> unit
+(** Slow start below ssthresh, then 1 MSS per RTT congestion avoidance —
+    shared by Reno, DCTCP and others via [tcp_cong_avoid] in Linux. *)

@@ -1,0 +1,14 @@
+let all =
+  [
+    ("reno", Reno.factory);
+    ("cubic", Cubic.factory);
+    ("dctcp", Dctcp_cc.factory);
+    ("vegas", Vegas.factory);
+    ("illinois", Illinois.factory);
+    ("highspeed", Highspeed.factory);
+  ]
+
+let find name =
+  match List.assoc_opt name all with Some f -> f | None -> raise Not_found
+
+let names = List.map fst all

@@ -1,0 +1,9 @@
+(** Name-indexed congestion control factories, mirroring
+    [/proc/sys/net/ipv4/tcp_congestion_control] selection. *)
+
+val find : string -> Cc.factory
+(** Raises [Not_found] for unknown names.  Known: "reno", "cubic", "dctcp",
+    "vegas", "illinois", "highspeed". *)
+
+val all : (string * Cc.factory) list
+val names : string list

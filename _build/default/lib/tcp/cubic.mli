@@ -1,0 +1,5 @@
+(** CUBIC congestion control (Ha, Rhee, Xu 2008), following the Linux
+    implementation: cubic window growth around the last loss point, fast
+    convergence, and a Reno-friendliness lower bound. *)
+
+val factory : Cc.factory

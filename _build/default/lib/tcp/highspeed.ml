@@ -1,0 +1,47 @@
+(* RFC 3649 parameters: below [w_low] behave exactly like Reno; between
+   [w_low] and [w_high] interpolate the decrease factor on a log scale and
+   derive the increase from the response function p(w) = 0.078 / w^1.2. *)
+let w_low = 38.0
+let w_high = 83000.0
+let b_high = 0.1
+
+let decrease_factor w =
+  if w <= w_low then 0.5
+  else begin
+    let b = ((b_high -. 0.5) *. (log w -. log w_low) /. (log w_high -. log w_low)) +. 0.5 in
+    Float.max b_high b
+  end
+
+let increase_mss w =
+  if w <= w_low then 1.0
+  else begin
+    let b = decrease_factor w in
+    let p = 0.078 /. (w ** 1.2) in
+    Float.max 1.0 (w *. w *. p *. 2.0 *. b /. (2.0 -. b))
+  end
+
+let make () =
+  let on_ack view ~acked ~rtt:_ ~ce_marked:_ =
+    let cwnd = view.Cc.get_cwnd () in
+    if cwnd < view.Cc.get_ssthresh () then Cc.reno_increase view ~acked
+    else begin
+      let mss = float_of_int view.Cc.mss in
+      let w = float_of_int cwnd /. mss in
+      (* a(w) MSS per RTT, spread over a window's worth of ACKs. *)
+      let incr = increase_mss w *. mss *. float_of_int acked /. float_of_int cwnd in
+      view.Cc.set_cwnd (Cc.clamp_cwnd view (cwnd + Stdlib.max 1 (int_of_float incr)))
+    end
+  in
+  let on_congestion view (_ : Cc.congestion) =
+    let cwnd = view.Cc.get_cwnd () in
+    let w = float_of_int cwnd /. float_of_int view.Cc.mss in
+    let target =
+      Cc.clamp_cwnd view (int_of_float (float_of_int cwnd *. (1.0 -. decrease_factor w)))
+    in
+    view.Cc.set_ssthresh target;
+    view.Cc.set_cwnd target
+  in
+  let on_rto (_ : Cc.view) = () in
+  { Cc.name = "highspeed"; per_ack_ecn = false; on_ack; on_congestion; on_rto }
+
+let factory = make

@@ -1,0 +1,5 @@
+(** HighSpeed TCP (RFC 3649): window-dependent AIMD — large windows grow by
+    more than one MSS per RTT and cut by less than half, using the RFC's
+    analytic response function. *)
+
+val factory : Cc.factory

@@ -1,0 +1,93 @@
+module Time_ns = Eventsim.Time_ns
+
+let alpha_min = 0.1 (* Linux ALPHA_MIN = 1/10 *)
+let alpha_max = 10.0
+let beta_min = 0.125
+let beta_max = 0.5
+
+type state = {
+  mutable base_rtt : Time_ns.t;
+  mutable max_rtt : Time_ns.t;
+  mutable sum_rtt : int;
+  mutable cnt_rtt : int;
+  mutable epoch_end : Time_ns.t;
+  mutable alpha : float;
+  mutable beta : float;
+}
+
+let huge = max_int
+
+let make () =
+  let s =
+    {
+      base_rtt = huge;
+      max_rtt = Time_ns.zero;
+      sum_rtt = 0;
+      cnt_rtt = 0;
+      epoch_end = Time_ns.zero;
+      alpha = 1.0;
+      beta = beta_max;
+    }
+  in
+  let update_gains () =
+    if s.cnt_rtt > 0 && s.base_rtt < huge then begin
+      let avg = float_of_int (s.sum_rtt / s.cnt_rtt) in
+      let base = float_of_int s.base_rtt and maxr = float_of_int s.max_rtt in
+      let dm = maxr -. base in
+      if dm > 0.0 then begin
+        let da = avg -. base in
+        (* Additive gain: alpha_max when delay is under dm/100, then a
+           hyperbolic fall-off to alpha_min at full delay (Linux alpha()). *)
+        let d1 = dm /. 100.0 in
+        if da <= d1 then s.alpha <- alpha_max
+        else begin
+          let k1 = (dm -. d1) *. alpha_min *. alpha_max /. (alpha_max -. alpha_min) in
+          let k2 = ((dm -. d1) *. alpha_min /. (alpha_max -. alpha_min)) -. d1 in
+          s.alpha <- Float.max alpha_min (k1 /. (k2 +. da))
+        end;
+        (* Multiplicative gain: linear between dm/10 and 8dm/10. *)
+        let d2 = dm /. 10.0 and d3 = 8.0 *. dm /. 10.0 in
+        if da <= d2 then s.beta <- beta_min
+        else if da >= d3 then s.beta <- beta_max
+        else s.beta <- beta_min +. ((beta_max -. beta_min) *. (da -. d2) /. (d3 -. d2))
+      end
+    end;
+    s.sum_rtt <- 0;
+    s.cnt_rtt <- 0
+  in
+  let on_ack view ~acked ~rtt ~ce_marked:_ =
+    (match rtt with
+    | Some sample ->
+      if sample < s.base_rtt then s.base_rtt <- sample;
+      if sample > s.max_rtt then s.max_rtt <- sample;
+      s.sum_rtt <- s.sum_rtt + sample;
+      s.cnt_rtt <- s.cnt_rtt + 1
+    | None -> ());
+    let now = view.Cc.now () in
+    if now >= s.epoch_end then begin
+      let srtt = match view.Cc.srtt () with Some r -> r | None -> Time_ns.ms 1 in
+      s.epoch_end <- Time_ns.add now srtt;
+      update_gains ()
+    end;
+    let cwnd = view.Cc.get_cwnd () in
+    if cwnd < view.Cc.get_ssthresh () then Cc.reno_increase view ~acked
+    else begin
+      let incr =
+        s.alpha *. float_of_int view.Cc.mss *. float_of_int acked /. float_of_int cwnd
+      in
+      view.Cc.set_cwnd (Cc.clamp_cwnd view (cwnd + Stdlib.max 1 (int_of_float incr)))
+    end
+  in
+  let on_congestion view (_ : Cc.congestion) =
+    let cwnd = view.Cc.get_cwnd () in
+    let target = Cc.clamp_cwnd view (int_of_float (float_of_int cwnd *. (1.0 -. s.beta))) in
+    view.Cc.set_ssthresh target;
+    view.Cc.set_cwnd target
+  in
+  let on_rto (_ : Cc.view) =
+    s.alpha <- 1.0;
+    s.beta <- beta_max
+  in
+  { Cc.name = "illinois"; per_ack_ecn = false; on_ack; on_congestion; on_rto }
+
+let factory = make

@@ -1,0 +1,6 @@
+(** TCP-Illinois (Liu, Basar, Srikant 2008): loss-based with delay-adaptive
+    gains — the additive increase shrinks and the multiplicative decrease
+    grows as queueing delay rises, making it aggressive when the path looks
+    idle.  Parameters follow the Linux implementation. *)
+
+val factory : Cc.factory

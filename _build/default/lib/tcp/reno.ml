@@ -1,0 +1,11 @@
+let make () =
+  let on_ack view ~acked ~rtt:_ ~ce_marked:_ = Cc.reno_increase view ~acked in
+  let on_congestion view (_ : Cc.congestion) =
+    let target = Cc.clamp_cwnd view (view.Cc.in_flight () / 2) in
+    view.Cc.set_ssthresh target;
+    view.Cc.set_cwnd target
+  in
+  let on_rto (_ : Cc.view) = () in
+  { Cc.name = "reno"; per_ack_ecn = false; on_ack; on_congestion; on_rto }
+
+let factory = make

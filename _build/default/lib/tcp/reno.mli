@@ -1,0 +1,4 @@
+(** TCP New Reno congestion control (RFC 5681 / RFC 6582 window dynamics):
+    slow start, 1-MSS-per-RTT congestion avoidance, halve on loss or ECN. *)
+
+val factory : Cc.factory

@@ -1,0 +1,22 @@
+(** RFC 6298 retransmission-timeout estimation with a configurable floor
+    (the paper sets RTOmin to 10 ms, following datacenter practice). *)
+
+type t
+
+val create : ?min_rto:Eventsim.Time_ns.t -> ?max_rto:Eventsim.Time_ns.t -> unit -> t
+(** Defaults: [min_rto] 10 ms, [max_rto] 4 s. *)
+
+val observe : t -> Eventsim.Time_ns.t -> unit
+(** Feed an RTT sample (must come from a non-retransmitted segment —
+    Karn's rule is the caller's job). *)
+
+val timeout : t -> Eventsim.Time_ns.t
+(** Current RTO, including any backoff. *)
+
+val backoff : t -> unit
+(** Double the RTO after a timeout fires (bounded by [max_rto]). *)
+
+val reset_backoff : t -> unit
+
+val srtt : t -> Eventsim.Time_ns.t option
+(** Smoothed RTT, if at least one sample arrived. *)

@@ -1,0 +1,77 @@
+module Time_ns = Eventsim.Time_ns
+
+(* Linux defaults, in packets. *)
+let alpha = 2.0
+let beta = 4.0
+let gamma = 1.0
+
+type state = {
+  mutable base_rtt : Time_ns.t; (* min observed *)
+  mutable min_rtt : Time_ns.t; (* min within the current epoch *)
+  mutable rtt_count : int;
+  mutable epoch_end : Time_ns.t;
+  mutable in_slow_start : bool;
+}
+
+let huge = max_int
+
+let make () =
+  let s =
+    {
+      base_rtt = huge;
+      min_rtt = huge;
+      rtt_count = 0;
+      epoch_end = Time_ns.zero;
+      in_slow_start = true;
+    }
+  in
+  let on_ack view ~acked ~rtt ~ce_marked:_ =
+    (match rtt with
+    | Some sample ->
+      if sample < s.base_rtt then s.base_rtt <- sample;
+      if sample < s.min_rtt then s.min_rtt <- sample;
+      s.rtt_count <- s.rtt_count + 1
+    | None -> ());
+    let now = view.Cc.now () in
+    if now >= s.epoch_end then begin
+      let srtt = match view.Cc.srtt () with Some r -> r | None -> Time_ns.ms 1 in
+      s.epoch_end <- Time_ns.add now srtt;
+      if s.rtt_count >= 2 && s.base_rtt < huge && s.min_rtt < huge then begin
+        let mss = float_of_int view.Cc.mss in
+        let cwnd = view.Cc.get_cwnd () in
+        let cwnd_pkts = float_of_int cwnd /. mss in
+        let rtt_f = Time_ns.to_sec s.min_rtt and base_f = Time_ns.to_sec s.base_rtt in
+        (* Packets occupying queues: cwnd * (rtt - base) / rtt. *)
+        let diff = cwnd_pkts *. (rtt_f -. base_f) /. rtt_f in
+        if s.in_slow_start then begin
+          if diff > gamma then begin
+            s.in_slow_start <- false;
+            let target = Cc.clamp_cwnd view (Stdlib.min cwnd (view.Cc.get_ssthresh ())) in
+            view.Cc.set_ssthresh (Stdlib.max (2 * view.Cc.mss) (cwnd / 2));
+            view.Cc.set_cwnd target
+          end
+          else Cc.reno_increase view ~acked
+        end
+        else if diff < alpha then view.Cc.set_cwnd (Cc.clamp_cwnd view (cwnd + view.Cc.mss))
+        else if diff > beta then view.Cc.set_cwnd (Cc.clamp_cwnd view (cwnd - view.Cc.mss))
+      end
+      else if s.in_slow_start then Cc.reno_increase view ~acked;
+      s.min_rtt <- huge;
+      s.rtt_count <- 0
+    end
+    else if s.in_slow_start && view.Cc.get_cwnd () < view.Cc.get_ssthresh () then
+      Cc.reno_increase view ~acked
+  in
+  let on_congestion view (_ : Cc.congestion) =
+    s.in_slow_start <- false;
+    let target = Cc.clamp_cwnd view (view.Cc.in_flight () / 2) in
+    view.Cc.set_ssthresh target;
+    view.Cc.set_cwnd target
+  in
+  let on_rto (_ : Cc.view) =
+    s.in_slow_start <- true;
+    s.base_rtt <- s.base_rtt (* base RTT survives timeouts *)
+  in
+  { Cc.name = "vegas"; per_ack_ecn = false; on_ack; on_congestion; on_rto }
+
+let factory = make

@@ -1,0 +1,5 @@
+(** TCP Vegas (Brakmo & Peterson 1994): delay-based congestion avoidance.
+    Once per RTT, compares actual to expected throughput and nudges the
+    window so that between [alpha] and [beta] packets sit in queues. *)
+
+val factory : Cc.factory

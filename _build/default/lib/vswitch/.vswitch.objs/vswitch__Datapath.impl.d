@@ -1,0 +1,1 @@
+lib/vswitch/datapath.ml: Dcpkt

@@ -1,0 +1,1 @@
+lib/vswitch/datapath.mli: Dcpkt

@@ -1,0 +1,1 @@
+lib/vswitch/flow_table.ml: Dcpkt Eventsim List

@@ -1,0 +1,47 @@
+type verdict = Pass | Drop
+
+type processor = {
+  name : string;
+  egress : Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> verdict;
+  ingress : Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> verdict;
+}
+
+let no_op name =
+  { name; egress = (fun _ ~inject:_ -> Pass); ingress = (fun _ ~inject:_ -> Pass) }
+
+type t = {
+  mutable processors : processor list; (* registration order *)
+  mutable egress_packets : int;
+  mutable ingress_packets : int;
+  mutable egress_drops : int;
+  mutable ingress_drops : int;
+}
+
+let create () =
+  { processors = []; egress_packets = 0; ingress_packets = 0; egress_drops = 0; ingress_drops = 0 }
+
+let add_processor t p = t.processors <- t.processors @ [ p ]
+
+let run_chain processors pkt ~inject ~select =
+  let rec loop = function
+    | [] -> Pass
+    | p :: rest -> ( match (select p) pkt ~inject with Pass -> loop rest | Drop -> Drop)
+  in
+  loop processors
+
+let process_egress t pkt ~emit =
+  t.egress_packets <- t.egress_packets + 1;
+  match run_chain t.processors pkt ~inject:emit ~select:(fun p -> p.egress) with
+  | Pass -> emit pkt
+  | Drop -> t.egress_drops <- t.egress_drops + 1
+
+let process_ingress t pkt ~deliver =
+  t.ingress_packets <- t.ingress_packets + 1;
+  match run_chain t.processors pkt ~inject:deliver ~select:(fun p -> p.ingress) with
+  | Pass -> deliver pkt
+  | Drop -> t.ingress_drops <- t.ingress_drops + 1
+
+let egress_packets t = t.egress_packets
+let ingress_packets t = t.ingress_packets
+let egress_drops t = t.egress_drops
+let ingress_drops t = t.ingress_drops

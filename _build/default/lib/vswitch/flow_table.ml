@@ -1,0 +1,97 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Flow_key = Dcpkt.Flow_key
+
+type 'a entry = {
+  value : 'a;
+  mutable last_active : Time_ns.t;
+  mutable closed : bool;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  idle_timeout : Time_ns.t;
+  gc_interval : Time_ns.t;
+  table : 'a entry Flow_key.Table.t;
+  mutable gc_timer : Engine.timer option;
+  mutable lookups : int;
+  mutable insertions : int;
+  mutable gc_removals : int;
+}
+
+let rec schedule_gc t =
+  t.gc_timer <-
+    Some
+      (Engine.timer_after t.engine ~delay:t.gc_interval (fun () ->
+           sweep t;
+           schedule_gc t))
+
+and sweep t =
+  let now = Engine.now t.engine in
+  let stale =
+    Flow_key.Table.fold
+      (fun key entry acc ->
+        if entry.closed || Time_ns.diff now entry.last_active > t.idle_timeout then key :: acc
+        else acc)
+      t.table []
+  in
+  List.iter
+    (fun key ->
+      Flow_key.Table.remove t.table key;
+      t.gc_removals <- t.gc_removals + 1)
+    stale
+
+let create engine ?(gc_interval = Time_ns.sec 1.0) ?(idle_timeout = Time_ns.sec 5.0) () =
+  let t =
+    {
+      engine;
+      idle_timeout;
+      gc_interval;
+      table = Flow_key.Table.create 256;
+      gc_timer = None;
+      lookups = 0;
+      insertions = 0;
+      gc_removals = 0;
+    }
+  in
+  schedule_gc t;
+  t
+
+let find t key =
+  t.lookups <- t.lookups + 1;
+  match Flow_key.Table.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+    entry.last_active <- Engine.now t.engine;
+    Some entry.value
+
+let find_or_create t key ~make =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let entry = { value = make (); last_active = Engine.now t.engine; closed = false } in
+    Flow_key.Table.replace t.table key entry;
+    t.insertions <- t.insertions + 1;
+    entry.value
+
+let mark_closed t key =
+  match Flow_key.Table.find_opt t.table key with
+  | Some entry -> entry.closed <- true
+  | None -> ()
+
+let remove t key = Flow_key.Table.remove t.table key
+
+let length t = Flow_key.Table.length t.table
+
+let iter t ~f = Flow_key.Table.iter (fun key entry -> f key entry.value) t.table
+
+let lookups t = t.lookups
+let insertions t = t.insertions
+let gc_removals t = t.gc_removals
+
+let stop_gc t =
+  match t.gc_timer with
+  | Some timer ->
+    Engine.cancel timer;
+    t.gc_timer <- None
+  | None -> ()

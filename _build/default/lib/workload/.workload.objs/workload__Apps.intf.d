@@ -1,0 +1,1 @@
+lib/workload/apps.mli: Dcstats Eventsim Fabric

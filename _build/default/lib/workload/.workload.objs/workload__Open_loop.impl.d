@@ -1,0 +1,1 @@
+lib/workload/open_loop.ml: Array Dcstats Dist Eventsim Fabric

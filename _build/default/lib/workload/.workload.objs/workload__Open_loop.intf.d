@@ -1,0 +1,1 @@
+lib/workload/open_loop.mli: Dcstats Dist Fabric Tcp

@@ -1,0 +1,1 @@
+lib/workload/probe.ml: Dcstats Eventsim Fabric

@@ -1,0 +1,1 @@
+lib/workload/probe.mli: Dcstats Eventsim Fabric Tcp

@@ -1,0 +1,62 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+
+module Periodic = struct
+  type t = { mutable running : bool; mutable sent : int }
+
+  let start ~engine ~conn ~interval ~bytes ~fct_ms () =
+    let t = { running = true; sent = 0 } in
+    let rec tick () =
+      if t.running then begin
+        t.sent <- t.sent + 1;
+        Fabric.Conn.send_message conn ~bytes ~on_complete:(fun fct ->
+            Dcstats.Samples.add fct_ms (Time_ns.to_ms fct));
+        Engine.schedule_after engine ~delay:interval tick
+      end
+    in
+    Fabric.Conn.on_established conn tick;
+    t
+
+  let stop t = t.running <- false
+  let sent t = t.sent
+end
+
+module Sequential = struct
+  type t = {
+    total : int;
+    mutable remaining : (Fabric.Conn.t * int) list;
+    mutable budget : int; (* unused concurrency slots *)
+    mutable completed : int;
+    fct_ms : Dcstats.Samples.t;
+    on_all_done : unit -> unit;
+  }
+
+  let rec pump t =
+    match t.remaining with
+    | (conn, bytes) :: rest when t.budget > 0 ->
+      t.remaining <- rest;
+      t.budget <- t.budget - 1;
+      Fabric.Conn.send_message conn ~bytes ~on_complete:(fun fct ->
+          Dcstats.Samples.add t.fct_ms (Time_ns.to_ms fct);
+          t.completed <- t.completed + 1;
+          t.budget <- t.budget + 1;
+          if t.completed = t.total then t.on_all_done () else pump t);
+      pump t
+    | _ :: _ | [] -> ()
+
+  let start ~transfers ~concurrency ~fct_ms ?(on_all_done = ignore) () =
+    let t =
+      {
+        total = List.length transfers;
+        remaining = transfers;
+        budget = concurrency;
+        completed = 0;
+        fct_ms;
+        on_all_done;
+      }
+    in
+    if t.total = 0 then t.on_all_done () else pump t;
+    t
+
+  let completed t = t.completed
+end

@@ -1,0 +1,37 @@
+(** Application behaviours used by the §5.2 macrobenchmarks. *)
+
+(** "A simple TCP application sends messages of specified sizes to measure
+    FCTs": a fixed-size message on a long-lived connection every
+    [interval], completion times recorded in milliseconds. *)
+module Periodic : sig
+  type t
+
+  val start :
+    engine:Eventsim.Engine.t ->
+    conn:Fabric.Conn.t ->
+    interval:Eventsim.Time_ns.t ->
+    bytes:int ->
+    fct_ms:Dcstats.Samples.t ->
+    unit ->
+    t
+
+  val stop : t -> unit
+  val sent : t -> int
+end
+
+(** Sequential bulk transfers: send each listed (connection, bytes) item in
+    order, at most [concurrency] in flight, recording each FCT.  Models the
+    stride background traffic and the shuffle. *)
+module Sequential : sig
+  type t
+
+  val start :
+    transfers:(Fabric.Conn.t * int) list ->
+    concurrency:int ->
+    fct_ms:Dcstats.Samples.t ->
+    ?on_all_done:(unit -> unit) ->
+    unit ->
+    t
+
+  val completed : t -> int
+end

@@ -1,0 +1,90 @@
+type t = { name : string; knots : (float * float) array }
+
+let of_cdf points =
+  let knots = Array.of_list points in
+  if Array.length knots < 2 then invalid_arg "Dist.of_cdf: need at least two knots";
+  Array.iteri
+    (fun i (size, p) ->
+      if size <= 0.0 then invalid_arg "Dist.of_cdf: sizes must be positive";
+      if p < 0.0 || p > 1.0 then invalid_arg "Dist.of_cdf: probabilities out of range";
+      if i > 0 then begin
+        let _, prev_p = knots.(i - 1) in
+        if p < prev_p then invalid_arg "Dist.of_cdf: CDF must be non-decreasing"
+      end)
+    knots;
+  let _, last = knots.(Array.length knots - 1) in
+  if last < 1.0 then invalid_arg "Dist.of_cdf: CDF must reach 1.0";
+  { name = "custom"; knots }
+
+let name t = t.name
+let named name t = { t with name }
+
+(* Inverse-transform sampling with log-linear interpolation in size. *)
+let quantile t u =
+  let n = Array.length t.knots in
+  let rec find i = if i >= n - 1 || snd t.knots.(i) >= u then i else find (i + 1) in
+  let hi = Stdlib.max 1 (find 0) in
+  let lo = hi - 1 in
+  let s0, p0 = t.knots.(lo) and s1, p1 = t.knots.(hi) in
+  if p1 <= p0 then s1
+  else begin
+    let frac = (u -. p0) /. (p1 -. p0) in
+    exp (log s0 +. (frac *. (log s1 -. log s0)))
+  end
+
+let sample t rng =
+  let u = Eventsim.Rng.float rng 1.0 in
+  Stdlib.max 1 (int_of_float (quantile t u))
+
+let mean_bytes t =
+  (* Integrate the quantile function numerically; plenty accurate for
+     deriving load targets. *)
+  let steps = 10_000 in
+  let sum = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let u = (float_of_int i +. 0.5) /. float_of_int steps in
+    sum := !sum +. quantile t u
+  done;
+  !sum /. float_of_int steps
+
+(* Flow-size CDF of the DCTCP paper's production search cluster (Fig. 4 of
+   [3]), as discretized by the pFabric simulation suite. *)
+let web_search =
+  named "web-search"
+    (of_cdf
+       [
+         (6_000.0, 0.0);
+         (10_000.0, 0.15);
+         (13_000.0, 0.2);
+         (19_000.0, 0.3);
+         (33_000.0, 0.4);
+         (53_000.0, 0.53);
+         (133_000.0, 0.6);
+         (667_000.0, 0.7);
+         (1_333_000.0, 0.8);
+         (3_333_000.0, 0.9);
+         (6_667_000.0, 0.97);
+         (20_000_000.0, 1.0);
+       ])
+
+(* Data-mining flow sizes (VL2 [25] / CONGA [2]): half the flows are a few
+   hundred bytes, with a very heavy elephant tail.  The published tail
+   reaches 1 GB; we cap at 100 MB so a single elephant cannot dominate a
+   multi-second simulation. *)
+let data_mining =
+  named "data-mining"
+    (of_cdf
+       [
+         (100.0, 0.0);
+         (180.0, 0.1);
+         (250.0, 0.2);
+         (560.0, 0.3);
+         (900.0, 0.4);
+         (1_100.0, 0.5);
+         (60_000.0, 0.6);
+         (310_000.0, 0.7);
+         (1_000_000.0, 0.8);
+         (10_000_000.0, 0.9);
+         (50_000_000.0, 0.97);
+         (100_000_000.0, 1.0);
+       ])

@@ -1,0 +1,34 @@
+(** Empirical flow-size distributions for the trace-driven workloads
+    (Fig. 23).
+
+    The paper samples message sizes from a web-search trace [3] and a
+    data-mining trace [2, 25].  The raw traces are proprietary; what the
+    experiment actually consumes is their flow-size CDF, which both papers
+    publish.  We reproduce those published CDFs as piecewise log-linear
+    empirical distributions — the standard substitution used by pFabric and
+    its successors. *)
+
+type t
+
+val of_cdf : (float * float) list -> t
+(** [(size_bytes, cumulative_probability)] knots; probabilities must be
+    non-decreasing and end at 1.0. *)
+
+val sample : t -> Eventsim.Rng.t -> int
+(** Draw a flow size in bytes (log-linear interpolation between knots). *)
+
+val mean_bytes : t -> float
+(** Analytic mean of the interpolated distribution (used to derive inter-
+    arrival times for a target load). *)
+
+val web_search : t
+(** DCTCP-paper search workload: median ~20 KB, 30 MB tail. *)
+
+val data_mining : t
+(** VL2-style data-mining workload: ~80 % of flows under 10 KB with a very
+    heavy tail (capped at 100 MB for simulation tractability; the cap only
+    affects the handful of elephant flows, not the mice FCTs the figure
+    reports). *)
+
+val name : t -> string
+val named : string -> t -> t

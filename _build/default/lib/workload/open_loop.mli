@@ -1,0 +1,29 @@
+(** Open-loop traffic: Poisson flow arrivals at a target load, each flow a
+    fresh TCP connection (SYN through FIN) to a random peer with a size
+    drawn from an empirical distribution.
+
+    This is the workload model of the paper's successors (pFabric, Homa,
+    ...) and doubles as a connection-churn stress for the vSwitch flow
+    tables: thousands of short connections created and garbage-collected
+    per simulated second. *)
+
+type t
+
+val start :
+  net:Fabric.Topology.t ->
+  config:Tcp.Endpoint.config ->
+  dist:Dist.t ->
+  load:float ->
+  ?seed:int ->
+  ?mice_cutoff:int ->
+  fct_ms:Dcstats.Samples.t ->
+  mice_fct_ms:Dcstats.Samples.t ->
+  unit ->
+  t
+(** [load] is the fraction of each host's link rate offered on average
+    (arrival rate = load * link_rate / (8 * mean flow size), per host).
+    Completed connections are torn down after a 20 ms grace. *)
+
+val flows_started : t -> int
+val flows_completed : t -> int
+val stop : t -> unit

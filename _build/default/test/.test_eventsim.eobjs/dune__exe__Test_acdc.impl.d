@@ -1,0 +1,1 @@
+test/test_acdc.ml: Acdc Alcotest Dcpkt Eventsim Gen List Option QCheck QCheck_alcotest Stdlib Tcp Vswitch

@@ -1,0 +1,1 @@
+test/test_eventsim.ml: Alcotest Array Eventsim Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Acdc Alcotest Array Dcpkt Dcstats Eventsim Experiments Fabric Float List Netsim Tcp Workload

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Dcpkt Eventsim List Netsim QCheck QCheck_alcotest

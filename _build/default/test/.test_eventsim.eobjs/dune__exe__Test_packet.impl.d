@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Dcpkt List QCheck QCheck_alcotest

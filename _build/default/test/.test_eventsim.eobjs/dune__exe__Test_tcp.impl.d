@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Dcpkt Eventsim Lazy List Option QCheck QCheck_alcotest Tcp

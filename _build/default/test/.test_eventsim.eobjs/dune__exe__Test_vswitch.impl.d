@@ -1,0 +1,1 @@
+test/test_vswitch.ml: Alcotest Dcpkt Eventsim List Vswitch

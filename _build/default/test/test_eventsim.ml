@@ -1,0 +1,272 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Event_heap = Eventsim.Event_heap
+module Rng = Eventsim.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+
+let test_time_units () =
+  check_int "us" 1_000 (Time_ns.us 1);
+  check_int "ms" 1_000_000 (Time_ns.ms 1);
+  check_int "sec" 1_500_000_000 (Time_ns.sec 1.5);
+  Alcotest.(check (float 1e-9)) "to_sec" 0.25 (Time_ns.to_sec (Time_ns.ms 250));
+  Alcotest.(check (float 1e-9)) "to_ms" 2.5 (Time_ns.to_ms (Time_ns.us 2500))
+
+let test_time_arith () =
+  check_int "add" 30 (Time_ns.add 10 20);
+  check_int "diff" 15 (Time_ns.diff 40 25);
+  check_int "min" 10 (Time_ns.min 10 20);
+  check_int "max" 20 (Time_ns.max 10 20)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let drain h =
+  let rec loop acc =
+    match Event_heap.pop h with None -> List.rev acc | Some (_, v) -> loop (v :: acc)
+  in
+  loop []
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun t -> Event_heap.push h ~time:t t) [ 5; 1; 9; 3; 7; 2; 8 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain h)
+
+let test_heap_fifo_ties () =
+  let h = Event_heap.create () in
+  List.iter (fun v -> Event_heap.push h ~time:42 v) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "insertion order preserved" [ 1; 2; 3; 4; 5 ] (drain h)
+
+let test_heap_peek_and_length () =
+  let h = Event_heap.create () in
+  check_bool "empty" true (Event_heap.is_empty h);
+  Event_heap.push h ~time:10 "a";
+  Event_heap.push h ~time:5 "b";
+  check_int "length" 2 (Event_heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 5) (Event_heap.peek_time h);
+  Event_heap.clear h;
+  check_bool "cleared" true (Event_heap.is_empty h)
+
+let test_heap_growth () =
+  let h = Event_heap.create () in
+  for i = 999 downto 0 do
+    Event_heap.push h ~time:i i
+  done;
+  let rec check last n =
+    match Event_heap.pop h with
+    | None -> n
+    | Some (t, v) ->
+      Alcotest.(check int) "time=value" t v;
+      check_bool "monotone" true (t >= last);
+      check t (n + 1)
+  in
+  check_int "all popped" 1000 (check min_int 0)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Event_heap.create () in
+      List.iter (fun t -> Event_heap.push h ~time:t t) times;
+      let rec ordered last =
+        match Event_heap.pop h with
+        | None -> true
+        | Some (t, _) -> t >= last && ordered t
+      in
+      ordered min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~at:30 (fun () -> log := 30 :: !log);
+  Engine.schedule engine ~at:10 (fun () -> log := 10 :: !log);
+  Engine.schedule engine ~at:20 (fun () -> log := 20 :: !log);
+  Engine.run engine;
+  Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !log);
+  check_int "clock at last event" 30 (Engine.now engine)
+
+let test_engine_schedule_past_rejected () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~at:100 (fun () -> ());
+  Engine.run engine;
+  let raised =
+    try
+      Engine.schedule engine ~at:50 (fun () -> ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "scheduling in the past raises" true raised
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule engine ~at:t (fun () -> fired := t :: !fired))
+    [ 10; 20; 30; 40 ];
+  Engine.run ~until:25 engine;
+  Alcotest.(check (list int)) "only early events" [ 10; 20 ] (List.rev !fired);
+  check_int "clock parked at limit" 25 (Engine.now engine);
+  check_int "rest still queued" 2 (Engine.pending_events engine);
+  Engine.run engine;
+  Alcotest.(check (list int)) "drained" [ 10; 20; 30; 40 ] (List.rev !fired)
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let hits = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr hits;
+      Engine.schedule_after engine ~delay:5 (fun () -> chain (n - 1))
+    end
+  in
+  Engine.schedule engine ~at:0 (fun () -> chain 10);
+  Engine.run engine;
+  check_int "chained events" 10 !hits;
+  (* chain(0) still fires (and does nothing) at t = 50 *)
+  check_int "clock" 50 (Engine.now engine)
+
+let test_timer_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.timer_after engine ~delay:10 (fun () -> fired := true) in
+  check_bool "pending" true (Engine.timer_pending timer);
+  Engine.cancel timer;
+  check_bool "not pending" false (Engine.timer_pending timer);
+  Engine.run engine;
+  check_bool "never fired" false !fired
+
+let test_timer_fires_once () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let timer = Engine.timer_after engine ~delay:10 (fun () -> incr count) in
+  Engine.run engine;
+  check_int "fired once" 1 !count;
+  check_bool "spent" false (Engine.timer_pending timer);
+  Engine.cancel timer (* no-op after firing *)
+
+let test_step () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~at:1 (fun () -> ());
+  Engine.schedule engine ~at:2 (fun () -> ());
+  check_bool "step 1" true (Engine.step engine);
+  check_bool "step 2" true (Engine.step engine);
+  check_bool "exhausted" false (Engine.step engine)
+
+(* ------------------------------------------------------------------ *)
+(* RNG                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  check_bool "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:3 in
+  let child = Rng.split parent in
+  check_bool "child differs from parent" true (Rng.bits64 child <> Rng.bits64 parent)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int rng bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_rng_float_in_range =
+  QCheck.Test.make ~name:"Rng.float stays in [0, bound)" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.float rng 3.5 in
+        if v < 0.0 || v >= 3.5 then ok := false
+      done;
+      !ok)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:99 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean within 5%" true (Float.abs (mean -. 4.0) < 0.2)
+
+let test_rng_uniformity () =
+  let rng = Rng.create ~seed:5 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "bucket within 10% of uniform" true (abs (c - (n / 10)) < n / 100))
+    buckets
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:8 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_heap_sorted; prop_rng_int_in_range; prop_rng_float_in_range ]
+
+let () =
+  Alcotest.run "eventsim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek/length/clear" `Quick test_heap_peek_and_length;
+          Alcotest.test_case "growth to 1000" `Quick test_heap_growth;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "rejects past" `Quick test_engine_schedule_past_rejected;
+          Alcotest.test_case "run ~until" `Quick test_engine_run_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+          Alcotest.test_case "timer fires once" `Quick test_timer_fires_once;
+          Alcotest.test_case "step" `Quick test_step;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ("properties", qtests);
+    ]

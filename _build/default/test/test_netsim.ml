@@ -1,0 +1,314 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Packet = Dcpkt.Packet
+module Flow_key = Dcpkt.Flow_key
+module Txq = Netsim.Txq
+module Switch = Netsim.Switch
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let key ?(dst = 2) () = Flow_key.make ~src_ip:1 ~dst_ip:dst ~src_port:1 ~dst_port:2
+
+let data_packet ?(dst = 2) ?(payload = 946) ?(ecn = Packet.Not_ect) () =
+  (* wire size = 54 + 946 = 1000 bytes: convenient arithmetic *)
+  Packet.make ~key:(key ~dst ()) ~ecn ~payload ()
+
+(* ------------------------------------------------------------------ *)
+(* Txq                                                                 *)
+
+let test_txq_serialization_time () =
+  let engine = Engine.create () in
+  let arrivals = ref [] in
+  let q =
+    Txq.create engine ~rate_bps:1_000_000_000 ~prop_delay:(Time_ns.us 5) ~jitter:None
+      ~deliver:(fun p -> arrivals := (Engine.now engine, p) :: !arrivals)
+  in
+  (* 1000 bytes at 1 Gb/s = 8 us serialization + 5 us propagation. *)
+  Txq.enqueue q (data_packet ());
+  Engine.run engine;
+  match !arrivals with
+  | [ (t, _) ] -> check_int "tx + prop" (Time_ns.us 13) t
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_txq_fifo_and_backlog () =
+  let engine = Engine.create () in
+  let arrivals = ref [] in
+  let q =
+    Txq.create engine ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero ~jitter:None
+      ~deliver:(fun p -> arrivals := p.Packet.id :: !arrivals)
+  in
+  Packet.reset_ids ();
+  let p1 = data_packet () and p2 = data_packet () and p3 = data_packet () in
+  Txq.enqueue q p1;
+  Txq.enqueue q p2;
+  Txq.enqueue q p3;
+  check_int "backlog bytes" 3000 (Txq.queued_bytes q);
+  check_bool "busy" true (Txq.busy q);
+  Engine.run engine;
+  Alcotest.(check (list int)) "FIFO order" [ p1.Packet.id; p2.Packet.id; p3.Packet.id ]
+    (List.rev !arrivals);
+  (* Three back-to-back 8 us serializations. *)
+  check_int "drained at 24us" (Time_ns.us 24) (Engine.now engine);
+  check_int "empty" 0 (Txq.queued_bytes q)
+
+let test_txq_tx_complete_hook () =
+  let engine = Engine.create () in
+  let freed = ref 0 in
+  let q =
+    Txq.create engine ~rate_bps:1_000_000_000 ~prop_delay:(Time_ns.us 50) ~jitter:None
+      ~deliver:ignore
+  in
+  Txq.set_on_tx_complete q (fun p -> freed := !freed + Packet.wire_size p);
+  Txq.enqueue q (data_packet ());
+  (* Buffer must be freed at serialization end (8us), before delivery. *)
+  Engine.run ~until:(Time_ns.us 10) engine;
+  check_int "freed at tx end" 1000 !freed
+
+let test_txq_jitter_bounds () =
+  let engine = Engine.create () in
+  let rng = Eventsim.Rng.create ~seed:1 in
+  let times = ref [] in
+  let q =
+    Txq.create engine ~rate_bps:10_000_000_000 ~prop_delay:(Time_ns.us 1)
+      ~jitter:(Some (rng, 500))
+      ~deliver:(fun _ -> times := Engine.now engine :: !times)
+  in
+  for _ = 1 to 50 do
+    Txq.enqueue q (data_packet ())
+  done;
+  Engine.run engine;
+  (* Each delivery is tx_end + 1us + [0,500ns). *)
+  check_int "all delivered" 50 (List.length !times)
+
+(* ------------------------------------------------------------------ *)
+(* Switch                                                              *)
+
+let one_port_switch ?ecn ?(buffer = 9 * 1024 * 1024) ?(dt_alpha = 1.0) engine sink =
+  let sw = Switch.create engine ~buffer_capacity:buffer ~dt_alpha ?ecn () in
+  let port =
+    Switch.add_port sw ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero ~deliver:sink ()
+  in
+  Switch.add_route sw ~dst_ip:2 ~port;
+  sw
+
+let test_switch_routes_and_counts () =
+  let engine = Engine.create () in
+  let delivered = ref 0 in
+  let sw = one_port_switch engine (fun _ -> incr delivered) in
+  Switch.input sw (data_packet ());
+  Switch.input sw (data_packet ~dst:99 ());
+  (* no route *)
+  Engine.run engine;
+  check_int "delivered" 1 !delivered;
+  check_int "forwarded" 1 (Switch.forwarded_packets sw);
+  check_int "drops include no-route" 1 (Switch.drops sw);
+  check_int "forwarded bytes" 1000 (Switch.forwarded_bytes sw)
+
+let test_switch_buffer_accounting () =
+  let engine = Engine.create () in
+  let sw = one_port_switch engine ignore in
+  Switch.input sw (data_packet ());
+  Switch.input sw (data_packet ());
+  check_int "buffer used" 2000 (Switch.buffer_used sw);
+  check_int "port queue" 2000 (Switch.port_queue_bytes sw 0);
+  Engine.run engine;
+  check_int "buffer drains" 0 (Switch.buffer_used sw);
+  check_int "max queue recorded" 2000 (Switch.max_port_queue sw 0)
+
+let test_switch_dynamic_threshold () =
+  let engine = Engine.create () in
+  (* Tiny buffer with alpha 1: a port may hold at most half the pool once
+     its own occupancy counts against the remaining space. *)
+  let sw = one_port_switch ~buffer:4000 ~dt_alpha:1.0 engine ignore in
+  Switch.input sw (data_packet ());
+  Switch.input sw (data_packet ());
+  (* used = 2000; threshold = 1.0 * (4000 - 2000) = 2000; next 1000-byte
+     packet would make the port exceed it. *)
+  Switch.input sw (data_packet ());
+  check_int "third dropped by DT" 1 (Switch.drops sw);
+  check_int "buffer stays" 2000 (Switch.buffer_used sw);
+  Engine.run engine
+
+let test_switch_ecn_marking () =
+  let engine = Engine.create () in
+  let marked = ref 0 and received = ref 0 in
+  let sw =
+    one_port_switch
+      ~ecn:{ Switch.mark_threshold = 1500; byte_mode_ref = None }
+      engine
+      (fun p ->
+        incr received;
+        if p.Packet.ecn = Packet.Ce then incr marked)
+  in
+  Switch.input sw (data_packet ~ecn:Packet.Ect0 ());
+  (* queue 1000 *)
+  Switch.input sw (data_packet ~ecn:Packet.Ect0 ());
+  (* 1000+1000 > 1500: marked *)
+  Engine.run engine;
+  check_int "both delivered" 2 !received;
+  check_int "second marked" 1 !marked;
+  check_int "ce counter" 1 (Switch.ce_marks sw)
+
+let test_switch_wred_drops_non_ect () =
+  let engine = Engine.create () in
+  let received = ref 0 in
+  let sw =
+    one_port_switch
+      ~ecn:{ Switch.mark_threshold = 1500; byte_mode_ref = None }
+      engine
+      (fun _ -> incr received)
+  in
+  Switch.input sw (data_packet ());
+  Switch.input sw (data_packet ());
+  (* over threshold and not ECT: dropped *)
+  Engine.run engine;
+  check_int "one delivered" 1 !received;
+  check_int "wred drop" 1 (Switch.wred_drops sw);
+  check_int "total drops" 1 (Switch.drops sw)
+
+let test_switch_byte_mode_spares_small_packets () =
+  let engine = Engine.create () in
+  let received = ref 0 in
+  let sw =
+    one_port_switch
+      ~ecn:{ Switch.mark_threshold = 500; byte_mode_ref = Some 9000 }
+      engine
+      (fun _ -> incr received)
+  in
+  (* Fill past the threshold, then offer many tiny control packets: with
+     byte-mode WRED almost all survive (p = 54/9000 each). *)
+  Switch.input sw (data_packet ~ecn:Packet.Ect0 ());
+  for _ = 1 to 100 do
+    Switch.input sw (Packet.make ~key:(key ()) ~syn:true ~payload:0 ())
+  done;
+  Engine.run engine;
+  check_bool "most SYNs survive" true (!received > 90);
+  (* And full-size packets still die. *)
+  let received_before = !received in
+  Switch.input sw (data_packet ~ecn:Packet.Ect0 ());
+  for _ = 1 to 20 do
+    Switch.input sw (data_packet ~payload:8946 ())
+  done;
+  Engine.run engine;
+  check_bool "big non-ECT mostly dropped" true (!received - received_before - 1 < 5)
+
+let test_switch_drop_rate_and_reset () =
+  let engine = Engine.create () in
+  let sw = one_port_switch engine ignore in
+  Switch.input sw (data_packet ());
+  Switch.input sw (data_packet ~dst:99 ());
+  Alcotest.(check (float 1e-9)) "drop rate" 0.5 (Switch.drop_rate sw);
+  Engine.run engine;
+  Switch.reset_counters sw;
+  check_int "reset forwarded" 0 (Switch.forwarded_packets sw);
+  check_int "reset drops" 0 (Switch.drops sw);
+  Alcotest.(check string) "name" "sw" (Switch.name sw)
+
+let test_switch_ecmp_group () =
+  let engine = Engine.create () in
+  let sw = Switch.create engine () in
+  let hits = Array.make 2 0 in
+  let ports =
+    List.init 2 (fun i ->
+        Switch.add_port sw ~rate_bps:10_000_000_000 ~prop_delay:Time_ns.zero
+          ~deliver:(fun _ -> hits.(i) <- hits.(i) + 1)
+          ())
+  in
+  Switch.add_routes sw ~dst_ip:2 ~ports;
+  (* 64 flows (distinct source ports): both members must be used, and each
+     flow must stick to one member. *)
+  for port = 0 to 63 do
+    let key = Flow_key.make ~src_ip:1 ~dst_ip:2 ~src_port:port ~dst_port:80 in
+    Switch.input sw (Packet.make ~key ~payload:100 ());
+    Switch.input sw (Packet.make ~key ~payload:100 ())
+  done;
+  Engine.run engine;
+  check_int "no drops" 0 (Switch.drops sw);
+  check_bool "both members used" true (hits.(0) > 0 && hits.(1) > 0);
+  check_bool "roughly balanced" true (abs (hits.(0) - hits.(1)) < 64);
+  (* Per-flow stickiness: every flow sent 2 packets, so each member count
+     must be even. *)
+  check_int "member 0 even" 0 (hits.(0) mod 2);
+  check_int "member 1 even" 0 (hits.(1) mod 2)
+
+(* ------------------------------------------------------------------ *)
+(* Saturation behaviour                                                *)
+
+let test_switch_saturated_port_rate () =
+  let engine = Engine.create () in
+  let bytes = ref 0 in
+  let stop_counting = ref max_int in
+  let sw =
+    one_port_switch engine (fun p ->
+        if Engine.now engine <= !stop_counting then bytes := !bytes + Packet.wire_size p)
+  in
+  (* Offer 2x the port rate for 10 ms: goodput must equal the port rate. *)
+  let stop = Time_ns.ms 10 in
+  let rec offer () =
+    if Engine.now engine < stop then begin
+      Switch.input sw (data_packet ());
+      (* 1000B every 4us = 2 Gb/s offered into a 1 Gb/s port *)
+      Engine.schedule_after engine ~delay:(Time_ns.us 4) offer
+    end
+  in
+  stop_counting := stop;
+  offer ();
+  Engine.run engine;
+  let gbps = float_of_int (!bytes * 8) /. Time_ns.to_sec stop /. 1e9 in
+  check_bool "close to line rate" true (gbps > 0.9 && gbps <= 1.01)
+
+(* Conservation: input = forwarded + dropped, and the buffer drains to
+   zero once the event queue runs dry. *)
+let prop_switch_conservation =
+  QCheck.Test.make ~name:"switch conserves packets and buffer bytes" ~count:50
+    QCheck.(pair (int_range 1 200) (int_range 1 97))
+    (fun (n_packets, seed) ->
+      let engine = Engine.create () in
+      let delivered = ref 0 in
+      let sw =
+        Switch.create engine ~buffer_capacity:20_000 ~dt_alpha:1.0 ()
+      in
+      let port =
+        Switch.add_port sw ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero
+          ~deliver:(fun _ -> incr delivered)
+          ()
+      in
+      Switch.add_route sw ~dst_ip:2 ~port;
+      let rng = Eventsim.Rng.create ~seed in
+      for _ = 1 to n_packets do
+        let payload = 50 + Eventsim.Rng.int rng 1400 in
+        Switch.input sw (Packet.make ~key:(key ()) ~payload ())
+      done;
+      Engine.run engine;
+      Switch.forwarded_packets sw + Switch.drops sw = n_packets
+      && !delivered = Switch.forwarded_packets sw
+      && Switch.buffer_used sw = 0)
+
+let netsim_qtests = List.map QCheck_alcotest.to_alcotest [ prop_switch_conservation ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "txq",
+        [
+          Alcotest.test_case "serialization time" `Quick test_txq_serialization_time;
+          Alcotest.test_case "fifo + backlog" `Quick test_txq_fifo_and_backlog;
+          Alcotest.test_case "tx-complete hook" `Quick test_txq_tx_complete_hook;
+          Alcotest.test_case "jitter" `Quick test_txq_jitter_bounds;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "routing + counters" `Quick test_switch_routes_and_counts;
+          Alcotest.test_case "buffer accounting" `Quick test_switch_buffer_accounting;
+          Alcotest.test_case "dynamic threshold" `Quick test_switch_dynamic_threshold;
+          Alcotest.test_case "ecn marking" `Quick test_switch_ecn_marking;
+          Alcotest.test_case "wred drops non-ect" `Quick test_switch_wred_drops_non_ect;
+          Alcotest.test_case "byte-mode wred" `Quick test_switch_byte_mode_spares_small_packets;
+          Alcotest.test_case "drop rate + reset" `Quick test_switch_drop_rate_and_reset;
+          Alcotest.test_case "ecmp groups" `Quick test_switch_ecmp_group;
+          Alcotest.test_case "saturated port serves line rate" `Quick
+            test_switch_saturated_port_rate;
+        ] );
+      ("properties", netsim_qtests);
+    ]

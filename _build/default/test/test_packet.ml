@@ -1,0 +1,130 @@
+module Packet = Dcpkt.Packet
+module Flow_key = Dcpkt.Flow_key
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let key = Flow_key.make ~src_ip:1 ~dst_ip:2 ~src_port:1000 ~dst_port:80
+
+(* ------------------------------------------------------------------ *)
+(* Flow keys                                                           *)
+
+let test_key_reverse () =
+  let r = Flow_key.reverse key in
+  check_int "src_ip" 2 r.Flow_key.src_ip;
+  check_int "dst_ip" 1 r.Flow_key.dst_ip;
+  check_int "src_port" 80 r.Flow_key.src_port;
+  check_int "dst_port" 1000 r.Flow_key.dst_port;
+  check_bool "double reverse" true (Flow_key.equal key (Flow_key.reverse r))
+
+let test_key_equal_hash () =
+  let same = Flow_key.make ~src_ip:1 ~dst_ip:2 ~src_port:1000 ~dst_port:80 in
+  check_bool "equal" true (Flow_key.equal key same);
+  check_int "hash equal" (Flow_key.hash key) (Flow_key.hash same);
+  let other = Flow_key.make ~src_ip:1 ~dst_ip:2 ~src_port:1001 ~dst_port:80 in
+  check_bool "not equal" false (Flow_key.equal key other)
+
+let test_key_table () =
+  let table = Flow_key.Table.create 4 in
+  Flow_key.Table.replace table key "a";
+  Flow_key.Table.replace table (Flow_key.reverse key) "b";
+  Alcotest.(check (option string)) "forward" (Some "a") (Flow_key.Table.find_opt table key);
+  Alcotest.(check (option string))
+    "reverse distinct" (Some "b")
+    (Flow_key.Table.find_opt table (Flow_key.reverse key))
+
+let key_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) -> Flow_key.make ~src_ip:a ~dst_ip:b ~src_port:c ~dst_port:d)
+      (quad (int_bound 1000) (int_bound 1000) (int_bound 65535) (int_bound 65535)))
+
+let arbitrary_key = QCheck.make key_gen
+
+let prop_reverse_involution =
+  QCheck.Test.make ~name:"reverse is an involution" ~count:300 arbitrary_key (fun k ->
+      Flow_key.equal k (Flow_key.reverse (Flow_key.reverse k)))
+
+let prop_compare_consistent_with_equal =
+  QCheck.Test.make ~name:"compare = 0 iff equal" ~count:300
+    (QCheck.pair arbitrary_key arbitrary_key)
+    (fun (a, b) -> Flow_key.equal a b = (Flow_key.compare a b = 0))
+
+(* ------------------------------------------------------------------ *)
+(* Packets                                                             *)
+
+let test_wire_size () =
+  let pkt = Packet.make ~key ~payload:1000 () in
+  check_int "base header" 54 (Packet.header_bytes pkt);
+  check_int "wire size" 1054 (Packet.wire_size pkt);
+  let with_opts =
+    Packet.make ~key ~options:[ Packet.Mss 1460; Packet.Window_scale 9 ] ~payload:0 ()
+  in
+  check_int "options add bytes" (54 + 4 + 3) (Packet.header_bytes with_opts);
+  let with_pack =
+    Packet.make ~key ~options:[ Packet.Pack { total_bytes = 1; marked_bytes = 0 } ] ~payload:0 ()
+  in
+  check_int "pack is 8 bytes" (54 + 8) (Packet.header_bytes with_pack);
+  let with_sack = Packet.make ~key ~options:[ Packet.Sack [ (1, 2); (5, 9) ] ] ~payload:0 () in
+  check_int "sack 2 blocks" (54 + 2 + 16) (Packet.header_bytes with_sack)
+
+let test_seq_end () =
+  check_int "payload" 1100 (Packet.seq_end (Packet.make ~key ~seq:100 ~payload:1000 ()));
+  check_int "syn consumes one" 1 (Packet.seq_end (Packet.make ~key ~seq:0 ~syn:true ~payload:0 ()));
+  check_int "fin consumes one" 6
+    (Packet.seq_end (Packet.make ~key ~seq:5 ~fin:true ~payload:0 ()))
+
+let test_ecn_predicates () =
+  check_bool "not_ect" false (Packet.is_ect (Packet.make ~key ~payload:0 ()));
+  check_bool "ect0" true (Packet.is_ect (Packet.make ~key ~ecn:Packet.Ect0 ~payload:0 ()));
+  check_bool "ce" true (Packet.is_ect (Packet.make ~key ~ecn:Packet.Ce ~payload:0 ()))
+
+let test_option_accessors () =
+  let pkt = Packet.make ~key ~options:[ Packet.Window_scale 7 ] ~payload:0 () in
+  Alcotest.(check (option int)) "wscale" (Some 7) (Packet.wscale pkt);
+  Alcotest.(check (option (pair int int))) "no pack" None (Packet.pack_info pkt);
+  Packet.set_option pkt (Packet.Pack { total_bytes = 100; marked_bytes = 40 });
+  Alcotest.(check (option (pair int int))) "pack" (Some (100, 40)) (Packet.pack_info pkt);
+  (* set_option replaces same-constructor options rather than stacking. *)
+  Packet.set_option pkt (Packet.Pack { total_bytes = 200; marked_bytes = 50 });
+  Alcotest.(check (option (pair int int))) "pack replaced" (Some (200, 50)) (Packet.pack_info pkt);
+  check_int "still one pack + one wscale" 2 (List.length pkt.Packet.options);
+  Packet.remove_pack pkt;
+  Alcotest.(check (option (pair int int))) "pack removed" None (Packet.pack_info pkt);
+  Alcotest.(check (option int)) "wscale survives" (Some 7) (Packet.wscale pkt)
+
+let test_sack_accessor () =
+  let pkt = Packet.make ~key ~payload:0 () in
+  Alcotest.(check (list (pair int int))) "no sack" [] (Packet.sack_blocks pkt);
+  Packet.set_option pkt (Packet.Sack [ (10, 20) ]);
+  Alcotest.(check (list (pair int int))) "sack" [ (10, 20) ] (Packet.sack_blocks pkt)
+
+let test_ids_unique () =
+  Packet.reset_ids ();
+  let a = Packet.make ~key ~payload:0 () in
+  let b = Packet.make ~key ~payload:0 () in
+  check_bool "distinct ids" true (a.Packet.id <> b.Packet.id)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest [ prop_reverse_involution; prop_compare_consistent_with_equal ]
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "flow_key",
+        [
+          Alcotest.test_case "reverse" `Quick test_key_reverse;
+          Alcotest.test_case "equal/hash" `Quick test_key_equal_hash;
+          Alcotest.test_case "table" `Quick test_key_table;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "wire size" `Quick test_wire_size;
+          Alcotest.test_case "seq_end" `Quick test_seq_end;
+          Alcotest.test_case "ecn predicates" `Quick test_ecn_predicates;
+          Alcotest.test_case "option accessors" `Quick test_option_accessors;
+          Alcotest.test_case "sack accessor" `Quick test_sack_accessor;
+          Alcotest.test_case "unique ids" `Quick test_ids_unique;
+        ] );
+      ("properties", qtests);
+    ]
