@@ -12,9 +12,16 @@
       drives the same code as `bin/acdc_expt.exe`), printing the rows and
       CDFs the paper plots, plus the ablations called out in DESIGN.md.
 
+   Every invocation also writes a machine-readable BENCH.json summary
+   (wall time, simulator events/sec and the metric snapshot per scenario,
+   plus ns/op per microbenchmark) so the perf trajectory is tracked
+   PR-over-PR; see README "BENCH.json schema".
+
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- cpu     (microbenchmarks only)
-             dune exec bench/main.exe -- fig8    (one experiment) *)
+             dune exec bench/main.exe -- fig8    (one experiment)
+             dune exec bench/main.exe -- smoke   (fast CI smoke run)
+             dune exec bench/main.exe -- smoke -o out.json *)
 
 module Engine = Eventsim.Engine
 module Packet = Dcpkt.Packet
@@ -129,14 +136,16 @@ let cpu_tests () =
   in
   Test.make_grouped ~name:"datapath" tests
 
-let run_cpu_bench () =
+let cpu_rows = ref []
+
+let run_cpu_bench ?(quota = 0.5) () =
   let open Bechamel in
   let open Toolkit in
   Format.printf "@.=== Figures 11-12: vSwitch datapath cost (CPU overhead proxy) ===@.";
   Format.printf "  ns per (data segment + ACK) through the datapath@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
   let raw = Benchmark.all cfg instances (cpu_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let value ols =
@@ -146,6 +155,7 @@ let run_cpu_bench () =
     Hashtbl.fold (fun name ols acc -> (name, value ols) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  cpu_rows := rows;
   List.iter (fun (name, v) -> Format.printf "  %-44s %10.0f ns/op@." name v) rows;
   let find side scheme flows =
     List.assoc_opt (Printf.sprintf "datapath/%s/%s/%05d-flows" side scheme flows) rows
@@ -271,6 +281,27 @@ let ablation_window_floor () =
   Format.printf "     CWND floor — why it beats native DCTCP at high fan-in.@."
 
 (* ------------------------------------------------------------------ *)
+(* Smoke: a fast end-to-end run for CI — exercises the switches, the
+   vSwitch datapath and the AC/DC hooks in well under a second so the
+   workflow can upload a real BENCH.json on every push. *)
+
+let smoke () =
+  Format.printf "@.=== smoke: 5-pair AC/DC dumbbell, 100 ms ===@.";
+  let scheme = Experiments.Harness.acdc () in
+  let pairs = 5 in
+  let net = Experiments.Harness.dumbbell scheme ~pairs () in
+  let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs in
+  let tputs =
+    Experiments.Harness.measure_goodput net conns
+      ~warmup:(Eventsim.Time_ns.ms 20)
+      ~duration:(Eventsim.Time_ns.ms 80)
+  in
+  Fabric.Topology.shutdown net;
+  Format.printf "  goodput %a Gbps, %d switch drops@." Experiments.Harness.pp_gbps_list tputs
+    (Fabric.Topology.total_switch_drops net);
+  run_cpu_bench ~quota:0.05 ()
+
+(* ------------------------------------------------------------------ *)
 
 let registry_bench id =
   match Experiments.Registry.find id with
@@ -284,12 +315,44 @@ let all_ids = Experiments.Registry.ids @ [ "cpu"; "ablation-fack"; "ablation-flo
 
 let run_one = function
   | "cpu" -> run_cpu_bench ()
+  | "smoke" -> smoke ()
   | "ablation-fack" -> ablation_fack ()
   | "ablation-floor" -> ablation_window_floor ()
   | id -> registry_bench id
 
+(* BENCH.json: one sidecar object per scenario (wall time, simulator
+   events/sec, metric snapshot) plus the microbenchmark rows, so tooling
+   can diff runs without scraping the pretty-printed output. *)
+let bench_json ~scenarios =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "acdc-bench/1");
+      ("scenarios", Obs.Json.List (List.rev scenarios));
+      ( "cpu",
+        Obs.Json.List
+          (List.map
+             (fun (name, ns) ->
+               Obs.Json.Obj
+                 [ ("name", Obs.Json.String name); ("ns_per_op", Obs.Json.Float ns) ])
+             !cpu_rows) );
+    ]
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let ids = match args with [] | [ "all" ] -> all_ids | ids -> ids in
+  let rec parse ids out = function
+    | [] -> (List.rev ids, out)
+    | "-o" :: path :: rest -> parse ids (Some path) rest
+    | arg :: rest -> parse (arg :: ids) out rest
+  in
+  let ids, out = parse [] None (List.tl (Array.to_list Sys.argv)) in
+  let ids = match ids with [] | [ "all" ] -> all_ids | ids -> ids in
+  let out = Option.value out ~default:"BENCH.json" in
   Format.printf "AC/DC TCP evaluation: every table and figure of He et al., SIGCOMM 2016@.";
-  List.iter run_one ids
+  let scenarios =
+    List.fold_left
+      (fun acc id ->
+        let wall_s, events = Experiments.Harness.timed_run (fun () -> run_one id) in
+        Experiments.Harness.run_sidecar ~id ~wall_s ~events :: acc)
+      [] ids
+  in
+  Experiments.Harness.write_json ~path:out (bench_json ~scenarios);
+  Format.printf "@.wrote %s@." out

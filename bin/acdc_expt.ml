@@ -6,21 +6,26 @@ let list_experiments () =
     (fun e -> Format.printf "  %-14s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
     Experiments.Registry.all
 
+(* Run each experiment bracketed by the observability harness; returns
+   one machine-readable sidecar per id for --metrics-out. *)
 let run_ids ids =
   let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
   if missing <> [] then begin
     Format.eprintf "unknown experiment(s): %s@." (String.concat ", " missing);
     exit 1
   end;
-  List.iter
-    (fun id ->
-      match Experiments.Registry.find id with
-      | Some e ->
-        let t0 = Unix.gettimeofday () in
-        e.Experiments.Registry.run ();
-        Format.printf "  [%s finished in %.1fs]@." id (Unix.gettimeofday () -. t0)
-      | None -> assert false)
-    ids
+  List.rev
+    (List.fold_left
+       (fun acc id ->
+         match Experiments.Registry.find id with
+         | Some e ->
+           let wall_s, events =
+             Experiments.Harness.timed_run (fun () -> e.Experiments.Registry.run ())
+           in
+           Format.printf "  [%s finished in %.1fs]@." id wall_s;
+           Experiments.Harness.run_sidecar ~id ~wall_s ~events :: acc
+         | None -> assert false)
+       [] ids)
 
 open Cmdliner
 
@@ -41,15 +46,39 @@ let list_arg =
   let doc = "List available experiments." in
   Arg.(value & flag & info [ "list"; "l" ] ~doc)
 
-let main verbose list ids =
+let trace_arg =
+  let doc =
+    "Write a JSONL event trace (enqueues, drops, CE marks, RWND rewrites, ...) to $(docv). \
+     Tracing is off unless this flag is given."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write per-experiment metric snapshots (JSON) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let main verbose list trace metrics_out ids =
   setup_logs verbose;
+  (try Option.iter Obs.Runtime.trace_to_file trace
+   with Sys_error msg ->
+     Format.eprintf "cannot open trace file: %s@." msg;
+     exit 1);
   if list || ids = [] then list_experiments ()
-  else if ids = [ "all" ] then run_ids Experiments.Registry.ids
-  else run_ids ids
+  else begin
+    let ids = if ids = [ "all" ] then Experiments.Registry.ids else ids in
+    let sidecars = run_ids ids in
+    Option.iter
+      (fun path ->
+        Experiments.Harness.write_json ~path (Obs.Json.List sidecars);
+        Format.printf "  [metrics written to %s]@." path)
+      metrics_out
+  end;
+  Obs.Runtime.close_trace ();
+  Option.iter (Format.printf "  [trace written to %s]@.") trace
 
 let cmd =
   let doc = "reproduce the AC/DC TCP (SIGCOMM 2016) experiments" in
   let info = Cmd.info "acdc_expt" ~doc in
-  Cmd.v info Term.(const main $ verbose_arg $ list_arg $ ids_arg)
+  Cmd.v info Term.(const main $ verbose_arg $ list_arg $ trace_arg $ metrics_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

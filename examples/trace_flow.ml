@@ -1,13 +1,21 @@
 (* Watch AC/DC work, packet by packet.
 
-   One 64 KB transfer between two hosts, with a tap on the sender's
-   datapath placed *after* the AC/DC processor: everything printed is what
-   actually reaches the wire (egress) or the tenant VM (ingress).  You can
-   see the SYN handshake carrying the window scale, data forced to ECT(0),
-   and the returning ACKs arriving with their PACK option already consumed
-   and the receive window rewritten to AC/DC's computed value.
+   One 64 KB transfer between two hosts, observed two ways:
 
-   Run with: dune exec examples/trace_flow.exe *)
+   - a tap on the sender's datapath placed *after* the AC/DC processor:
+     everything printed is what actually reaches the wire (egress) or the
+     tenant VM (ingress).  You can see the SYN handshake carrying the
+     window scale, data forced to ECT(0), and the returning ACKs arriving
+     with their PACK option already consumed and the receive window
+     rewritten to AC/DC's computed value.
+
+   - the structured trace layer (lib/obs): a ring tracer installed as the
+     ambient sink records every enqueue, CE mark and RWND rewrite across
+     the whole fabric, and the tail of that ring is replayed at the end.
+
+   Run with: dune exec examples/trace_flow.exe
+             dune exec examples/trace_flow.exe -- /tmp/flow.jsonl
+   (with a file argument the full trace is also streamed there as JSONL) *)
 
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
@@ -37,6 +45,14 @@ let tap engine =
   }
 
 let () =
+  (* Install the ambient tracer *before* the topology is built — switches
+     and NICs capture it at construction time. *)
+  let ring = Obs.Trace.ring ~capacity:4096 () in
+  let file = match Sys.argv with [| _; path |] -> Some (open_out path, path) | _ -> None in
+  Obs.Runtime.set_tracer
+    (match file with
+    | Some (oc, _) -> Obs.Trace.tee ring (Obs.Trace.jsonl_channel oc)
+    | None -> ring);
   let params = Fabric.Params.with_ecn (Fabric.Params.with_mtu Fabric.Params.default 1500) in
   let engine = Engine.create () in
   let net =
@@ -65,6 +81,33 @@ let () =
       (Acdc.Sender.rwnd_rewrites sender)
   | None -> ());
   Fabric.Topology.shutdown net;
+  (* Replay the tail of the structured trace: prefer the control-plane
+     events (rewrites, marks) over the enqueue/dequeue chatter. *)
+  let interesting = function
+    | _, (Obs.Trace.Enqueue _ | Obs.Trace.Dequeue _) -> false
+    | _ -> true
+  in
+  let events = Obs.Trace.events ring in
+  let picked = List.filter interesting events in
+  Format.printf "@.Structured trace: %d events recorded fabric-wide (%d in the ring);@."
+    (Obs.Trace.recorded ring) (List.length events);
+  Format.printf "last control-plane events (CE marks, RWND rewrites, alpha updates):@.";
+  let tail n l = List.filteri (fun i _ -> i >= List.length l - n) l in
+  List.iter
+    (fun (t, ev) ->
+      Format.printf "  %8.2fus %a@." (Time_ns.to_us t) Obs.Trace.pp_event ev)
+    (tail 10 picked);
+  (* Per-run metric snapshot from the same ambient registry the switches
+     and AC/DC modules count into. *)
+  Format.printf "@.Metric snapshot (ambient registry):@.";
+  List.iter
+    (fun (name, v) -> if v > 0 then Format.printf "  %-36s %d@." name v)
+    (Obs.Metrics.counters (Obs.Runtime.metrics ()));
+  (match file with
+  | Some (oc, path) ->
+    close_out oc;
+    Format.printf "@.full JSONL trace written to %s@." path
+  | None -> ());
   Format.printf
     "@.Things to notice: the tenant sent Not-ECT data (it has no ECN), yet@\n\
      every data packet left as ECT0; the ACKs the VM received carry no PACK@\n\

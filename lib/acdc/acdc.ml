@@ -4,8 +4,11 @@ module Receiver = Receiver
 
 type t = { sender : Sender.t; receiver : Receiver.t }
 
-let create engine config =
-  { sender = Sender.create engine config; receiver = Receiver.create engine config }
+let create ?metrics ?tracer engine config =
+  {
+    sender = Sender.create ?metrics ?tracer engine config;
+    receiver = Receiver.create ?metrics engine config;
+  }
 
 let processor t =
   {

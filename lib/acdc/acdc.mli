@@ -13,7 +13,7 @@ module Receiver = Receiver
 
 type t
 
-val create : Eventsim.Engine.t -> Config.t -> t
+val create : ?metrics:Obs.Metrics.t -> ?tracer:Obs.Trace.t -> Eventsim.Engine.t -> Config.t -> t
 (** Build the sender and receiver modules for one host. *)
 
 val attach : t -> Vswitch.Datapath.t -> unit

@@ -10,14 +10,21 @@ type flow = {
 type t = {
   config : Config.t;
   table : flow Vswitch.Flow_table.t;
-  mutable packs_sent : int;
-  mutable facks_sent : int;
+  m_packs_sent : Obs.Metrics.counter;
+  m_facks_sent : Obs.Metrics.counter;
 }
 
 let enforced t key = (t.config.Config.policy key).Config.enforce
 
-let create engine config =
-  { config; table = Vswitch.Flow_table.create engine (); packs_sent = 0; facks_sent = 0 }
+let create ?metrics engine config =
+  let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
+  let scope = Obs.Metrics.scope registry "acdc.receiver" in
+  {
+    config;
+    table = Vswitch.Flow_table.create engine ();
+    m_packs_sent = Obs.Metrics.scope_counter scope "packs_sent";
+    m_facks_sent = Obs.Metrics.scope_counter scope "facks_sent";
+  }
 
 let fresh_flow () = { total_bytes = 0; marked_bytes = 0; vm_ect = false }
 
@@ -80,13 +87,13 @@ let egress t (pkt : Packet.t) ~inject =
       in
       if fits then begin
         Packet.set_option pkt pack;
-        t.packs_sent <- t.packs_sent + 1
+        Obs.Metrics.incr t.m_packs_sent
       end
       else begin
         (* TSO would smear an oversized PACK across segments, corrupting
            the counters — send a dedicated FACK instead (§3.2). *)
         let fack = Packet.make ~key:pkt.Packet.key ~options:[ pack ] ~payload:0 () in
-        t.facks_sent <- t.facks_sent + 1;
+        Obs.Metrics.incr t.m_facks_sent;
         inject fack
       end;
       if pkt.Packet.fin then Vswitch.Flow_table.mark_closed t.table data_key
@@ -94,8 +101,8 @@ let egress t (pkt : Packet.t) ~inject =
     Vswitch.Datapath.Pass
 
 let tracked_flows t = Vswitch.Flow_table.length t.table
-let packs_sent t = t.packs_sent
-let facks_sent t = t.facks_sent
+let packs_sent t = Obs.Metrics.value t.m_packs_sent
+let facks_sent t = Obs.Metrics.value t.m_facks_sent
 
 let marked_bytes t key =
   Option.map

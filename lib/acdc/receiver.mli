@@ -9,7 +9,7 @@
 
 type t
 
-val create : Eventsim.Engine.t -> Config.t -> t
+val create : ?metrics:Obs.Metrics.t -> Eventsim.Engine.t -> Config.t -> t
 
 val ingress :
   t -> Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> Vswitch.Datapath.verdict

@@ -42,23 +42,31 @@ type t = {
   engine : Engine.t;
   config : Config.t;
   table : flow Vswitch.Flow_table.t;
-  mutable rwnd_rewrites : int;
-  mutable policer_drops : int;
-  mutable inferred_timeouts : int;
-  mutable retransmit_assists : int;
+  tracer : Obs.Trace.t;
+  m_rwnd_rewrites : Obs.Metrics.counter;
+  m_policer_drops : Obs.Metrics.counter;
+  m_inferred_timeouts : Obs.Metrics.counter;
+  m_retransmit_assists : Obs.Metrics.counter;
+  m_dupacks : Obs.Metrics.counter;
+  m_alpha_updates : Obs.Metrics.counter;
   mutable vm_inject : (Packet.t -> unit) option;
   mutable window_hook : Flow_key.t -> Time_ns.t -> int -> unit;
 }
 
-let create engine config =
+let create ?metrics ?tracer engine config =
+  let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
+  let scope = Obs.Metrics.scope registry "acdc.sender" in
   {
     engine;
     config;
     table = Vswitch.Flow_table.create engine ();
-    rwnd_rewrites = 0;
-    policer_drops = 0;
-    inferred_timeouts = 0;
-    retransmit_assists = 0;
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
+    m_rwnd_rewrites = Obs.Metrics.scope_counter scope "rwnd_rewrites";
+    m_policer_drops = Obs.Metrics.scope_counter scope "policer_drops";
+    m_inferred_timeouts = Obs.Metrics.scope_counter scope "inferred_timeouts";
+    m_retransmit_assists = Obs.Metrics.scope_counter scope "retransmit_assists";
+    m_dupacks = Obs.Metrics.scope_counter scope "dupacks";
+    m_alpha_updates = Obs.Metrics.scope_counter scope "alpha_updates";
     vm_inject = None;
     window_hook = (fun _ _ _ -> ());
   }
@@ -139,7 +147,15 @@ and fire_timer t flow =
   end
   else if flow.snd_una < flow.snd_nxt then begin
     (* Silence with data outstanding: the VM's flow timed out (§3.1). *)
-    t.inferred_timeouts <- t.inferred_timeouts + 1;
+    Obs.Metrics.incr t.m_inferred_timeouts;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now
+        (Obs.Trace.Rto_fire
+           {
+             flow = flow.key;
+             inferred = true;
+             count = Obs.Metrics.value t.m_inferred_timeouts;
+           });
     Log.debug (fun m ->
         m "flow %a: inferred timeout (snd_una=%d snd_nxt=%d)" Flow_key.pp flow.key
           flow.snd_una flow.snd_nxt);
@@ -163,7 +179,7 @@ and fire_timer t flow =
 and assist_retransmit t flow =
   match t.vm_inject with
   | Some inject when t.config.Config.retransmit_assist ->
-    t.retransmit_assists <- t.retransmit_assists + 1;
+    Obs.Metrics.incr t.m_retransmit_assists;
     let window = Stdlib.max t.config.Config.min_window_bytes flow.wnd in
     for _ = 1 to 3 do
       inject
@@ -219,7 +235,11 @@ let egress t (pkt : Packet.t) ~inject:_ =
         when flow.policy.Config.enforce
              && seq_end - flow.snd_una > enforced_window t flow + slack ->
         (* Non-conforming stack: drop the excess (§3.3). *)
-        t.policer_drops <- t.policer_drops + 1;
+        Obs.Metrics.incr t.m_policer_drops;
+        if Obs.Trace.enabled t.tracer then
+          Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+            (Obs.Trace.Policer_drop
+               { flow = flow.key; seq = pkt.Packet.seq; window = enforced_window t flow });
         Log.debug (fun m ->
             m "flow %a: policed packet seq=%d beyond window %d" Flow_key.pp flow.key
               pkt.Packet.seq (enforced_window t flow));
@@ -278,7 +298,11 @@ let update_alpha t flow =
   if flow.win_total > 0 then begin
     let fraction = float_of_int flow.win_marked /. float_of_int flow.win_total in
     let g = t.config.Config.g in
-    flow.alpha <- ((1.0 -. g) *. flow.alpha) +. (g *. fraction)
+    flow.alpha <- ((1.0 -. g) *. flow.alpha) +. (g *. fraction);
+    Obs.Metrics.incr t.m_alpha_updates;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.Alpha_update { flow = flow.key; alpha = flow.alpha; fraction })
   end;
   flow.win_total <- 0;
   flow.win_marked <- 0;
@@ -352,7 +376,10 @@ let rewrite_rwnd t flow (pkt : Packet.t) =
        window (§3.3). *)
     if field < pkt.Packet.rwnd_field then begin
       pkt.Packet.rwnd_field <- field;
-      t.rwnd_rewrites <- t.rwnd_rewrites + 1
+      Obs.Metrics.incr t.m_rwnd_rewrites;
+      if Obs.Trace.enabled t.tracer then
+        Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+          (Obs.Trace.Rwnd_rewrite { flow = flow.key; window; field })
     end
   end
 
@@ -388,7 +415,13 @@ let handle_ack t flow (pkt : Packet.t) =
     end
     else begin
       if pkt.Packet.ack = flow.snd_una && pkt.Packet.payload = 0 && flow.snd_una < flow.snd_nxt
-      then flow.dupacks <- flow.dupacks + 1;
+      then begin
+        flow.dupacks <- flow.dupacks + 1;
+        Obs.Metrics.incr t.m_dupacks;
+        if Obs.Trace.enabled t.tracer then
+          Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+            (Obs.Trace.Dupack { flow = flow.key; ack = pkt.Packet.ack; count = flow.dupacks })
+      end;
       0
     end
   in
@@ -459,11 +492,11 @@ let flow_alpha t key =
   Option.map (fun flow -> flow.alpha) (Vswitch.Flow_table.find t.table key)
 
 let set_vm_injector t inject = t.vm_inject <- Some inject
-let retransmit_assists t = t.retransmit_assists
+let retransmit_assists t = Obs.Metrics.value t.m_retransmit_assists
 let tracked_flows t = Vswitch.Flow_table.length t.table
-let rwnd_rewrites t = t.rwnd_rewrites
-let policer_drops t = t.policer_drops
-let inferred_timeouts t = t.inferred_timeouts
+let rwnd_rewrites t = Obs.Metrics.value t.m_rwnd_rewrites
+let policer_drops t = Obs.Metrics.value t.m_policer_drops
+let inferred_timeouts t = Obs.Metrics.value t.m_inferred_timeouts
 let set_window_hook t f = t.window_hook <- f
 
 let shutdown t =

@@ -2,9 +2,13 @@ type timer = { mutable live : bool; action : unit -> unit }
 
 type event = Callback of (unit -> unit) | Timer of timer
 
-type t = { mutable clock : Time_ns.t; queue : event Event_heap.t }
+type t = { mutable clock : Time_ns.t; queue : event Event_heap.t; mutable fired : int }
 
-let create () = { clock = Time_ns.zero; queue = Event_heap.create () }
+(* Events fired across every engine in the process: the denominator of the
+   bench's events/sec figure, which spans many short-lived engines. *)
+let all_fired = ref 0
+
+let create () = { clock = Time_ns.zero; queue = Event_heap.create (); fired = 0 }
 
 let now t = t.clock
 
@@ -39,6 +43,8 @@ let step t =
   | None -> false
   | Some (time, ev) ->
     t.clock <- time;
+    t.fired <- t.fired + 1;
+    incr all_fired;
     fire ev;
     true
 
@@ -56,3 +62,7 @@ let run ?until t =
     done
 
 let pending_events t = Event_heap.length t.queue
+
+let events_processed t = t.fired
+
+let total_events_processed () = !all_fired

@@ -39,3 +39,10 @@ val step : t -> bool
 (** Process a single event.  Returns [false] if the queue was empty. *)
 
 val pending_events : t -> int
+
+val events_processed : t -> int
+(** Events fired by this engine so far. *)
+
+val total_events_processed : unit -> int
+(** Events fired across every engine in the process — the bench's
+    events/sec denominator (experiments create many engines). *)

@@ -92,3 +92,34 @@ let print_row label fmt =
 
 let pctl samples p =
   if Dcstats.Samples.is_empty samples then nan else Dcstats.Samples.percentile samples p
+
+(* ------------------------------------------------------------------ *)
+(* Per-run metric snapshots                                            *)
+
+let reset_run_metrics () = Obs.Runtime.reset_metrics ()
+
+let metrics_json () = Obs.Metrics.to_json (Obs.Runtime.metrics ())
+
+let run_sidecar ~id ~wall_s ~events =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String id);
+      ("wall_s", Obs.Json.Float wall_s);
+      ("events", Obs.Json.Int events);
+      ( "events_per_sec",
+        Obs.Json.Float (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0) );
+      ("metrics", metrics_json ());
+    ]
+
+let write_json ~path json =
+  let oc = open_out path in
+  Obs.Json.to_channel oc json;
+  close_out oc
+
+let timed_run f =
+  reset_run_metrics ();
+  let events0 = Engine.total_events_processed () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (wall_s, Engine.total_events_processed () - events0)

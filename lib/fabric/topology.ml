@@ -12,8 +12,8 @@ type acdc_select = int -> Acdc.Config.t option
 let no_acdc _ = None
 let acdc_everywhere params _ = Some (Params.acdc_config params)
 
-let make_switch engine params =
-  Netsim.Switch.create engine ~buffer_capacity:params.Params.buffer_bytes
+let make_switch engine params ~name =
+  Netsim.Switch.create engine ~name ~buffer_capacity:params.Params.buffer_bytes
     ~dt_alpha:params.Params.dt_alpha
     ?ecn:(Params.ecn_config params) ()
 
@@ -31,7 +31,9 @@ let attach engine params rng switch host =
   let rate_bps = params.Params.link_rate_bps and prop_delay = params.Params.link_delay in
   let nic_rate = Option.value params.Params.nic_rate_bps ~default:rate_bps in
   let nic =
-    Netsim.Txq.create engine ~rate_bps:nic_rate ~prop_delay ~jitter:(jitter_for params rng)
+    Netsim.Txq.create engine
+      ~node:(Printf.sprintf "host%d.nic" (Host.ip host))
+      ~rate_bps:nic_rate ~prop_delay ~jitter:(jitter_for params rng)
       ~deliver:(fun pkt -> Netsim.Switch.input switch pkt)
   in
   Host.set_nic host (Netsim.Txq.enqueue nic);
@@ -61,7 +63,8 @@ let trunk params rng sw_a sw_b =
 let dumbbell engine ?(params = Params.default) ?(acdc = no_acdc) ~pairs () =
   assert (pairs > 0);
   let rng = Eventsim.Rng.create ~seed:42 in
-  let left = make_switch engine params and right = make_switch engine params in
+  let left = make_switch engine params ~name:"left"
+  and right = make_switch engine params ~name:"right" in
   let hosts = Array.init (2 * pairs) (make_host engine acdc) in
   for i = 0 to pairs - 1 do
     attach engine params rng left hosts.(i);
@@ -77,7 +80,7 @@ let dumbbell engine ?(params = Params.default) ?(acdc = no_acdc) ~pairs () =
 let star engine ?(params = Params.default) ?(acdc = no_acdc) ~hosts:n () =
   assert (n > 0);
   let rng = Eventsim.Rng.create ~seed:43 in
-  let switch = make_switch engine params in
+  let switch = make_switch engine params ~name:"sw0" in
   let hosts = Array.init n (make_host engine acdc) in
   Array.iter (fun host -> attach engine params rng switch host) hosts;
   { engine; params; switches = [| switch |]; hosts }
@@ -85,7 +88,9 @@ let star engine ?(params = Params.default) ?(acdc = no_acdc) ~hosts:n () =
 let parking_lot engine ?(params = Params.default) ?(acdc = no_acdc) ~senders () =
   assert (senders > 1);
   let rng = Eventsim.Rng.create ~seed:44 in
-  let switches = Array.init senders (fun _ -> make_switch engine params) in
+  let switches =
+    Array.init senders (fun i -> make_switch engine params ~name:(Printf.sprintf "sw%d" i))
+  in
   let hosts = Array.init (senders + 1) (make_host engine acdc) in
   for i = 0 to senders - 1 do
     attach engine params rng switches.(i) hosts.(i)
@@ -112,8 +117,12 @@ let leaf_spine engine ?(params = Params.default) ?(acdc = no_acdc) ~leaves ~spin
     ~hosts_per_leaf () =
   assert (leaves > 0 && spines > 0 && hosts_per_leaf > 0);
   let rng = Eventsim.Rng.create ~seed:45 in
-  let leaf_sw = Array.init leaves (fun _ -> make_switch engine params) in
-  let spine_sw = Array.init spines (fun _ -> make_switch engine params) in
+  let leaf_sw =
+    Array.init leaves (fun i -> make_switch engine params ~name:(Printf.sprintf "leaf%d" i))
+  in
+  let spine_sw =
+    Array.init spines (fun i -> make_switch engine params ~name:(Printf.sprintf "spine%d" i))
+  in
   let hosts = Array.init (leaves * hosts_per_leaf) (make_host engine acdc) in
   Array.iteri
     (fun idx host -> attach engine params rng leaf_sw.(idx / hosts_per_leaf) host)

@@ -1,6 +1,8 @@
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
 module Packet = Dcpkt.Packet
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
 
 type ecn_config = { mark_threshold : int; byte_mode_ref : int option }
 
@@ -17,19 +19,26 @@ type t = {
   buffer_capacity : int;
   dt_alpha : float;
   ecn : ecn_config option;
+  tracer : Trace.t;
+  (* Growable port vector: capacity is [Array.length ports], the live
+     prefix is [nports] (add_port used to Array.append — O(n^2) growth). *)
   mutable ports : port array;
+  mutable nports : int;
   routes : (int, int array) Hashtbl.t;
   mutable buffer_used : int;
-  mutable forwarded_packets : int;
-  mutable forwarded_bytes : int;
-  mutable input_packets : int;
-  mutable total_drops : int;
-  mutable wred_drops : int;
-  mutable ce_marks : int;
+  m_input : Metrics.counter;
+  m_forwarded_packets : Metrics.counter;
+  m_forwarded_bytes : Metrics.counter;
+  m_drops : Metrics.counter;
+  m_wred_drops : Metrics.counter;
+  m_ce_marks : Metrics.counter;
+  g_buffer_max : Metrics.gauge;
 }
 
-let create engine ?(name = "sw") ?(buffer_capacity = 9 * 1024 * 1024) ?(dt_alpha = 1.0) ?ecn
-    () =
+let create ?metrics ?tracer engine ?(name = "sw") ?(buffer_capacity = 9 * 1024 * 1024)
+    ?(dt_alpha = 1.0) ?ecn () =
+  let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
+  let scope = Metrics.scope registry ("switch." ^ name) in
   {
     engine;
     rng = Eventsim.Rng.create ~seed:(Hashtbl.hash name + buffer_capacity);
@@ -37,23 +46,42 @@ let create engine ?(name = "sw") ?(buffer_capacity = 9 * 1024 * 1024) ?(dt_alpha
     buffer_capacity;
     dt_alpha;
     ecn;
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
     ports = [||];
+    nports = 0;
     routes = Hashtbl.create 64;
     buffer_used = 0;
-    forwarded_packets = 0;
-    forwarded_bytes = 0;
-    input_packets = 0;
-    total_drops = 0;
-    wred_drops = 0;
-    ce_marks = 0;
+    m_input = Metrics.scope_counter scope "input_packets";
+    m_forwarded_packets = Metrics.scope_counter scope "forwarded_packets";
+    m_forwarded_bytes = Metrics.scope_counter scope "forwarded_bytes";
+    m_drops = Metrics.scope_counter scope "drops";
+    m_wred_drops = Metrics.scope_counter scope "wred_drops";
+    m_ce_marks = Metrics.scope_counter scope "ce_marks";
+    g_buffer_max = Metrics.scope_gauge scope "buffer_max";
   }
 
 let add_port t ~rate_bps ~prop_delay ?jitter ~deliver () =
-  let txq = Txq.create t.engine ~rate_bps ~prop_delay ~jitter ~deliver in
+  let idx = t.nports in
+  let txq =
+    Txq.create t.engine ~tracer:t.tracer ~node:t.name ~port:idx ~rate_bps ~prop_delay ~jitter
+      ~deliver
+  in
   let port = { txq; drops = 0; max_queue = 0 } in
   Txq.set_on_tx_complete txq (fun pkt -> t.buffer_used <- t.buffer_used - Packet.wire_size pkt);
-  t.ports <- Array.append t.ports [| port |];
-  Array.length t.ports - 1
+  let capacity = Array.length t.ports in
+  if idx >= capacity then begin
+    (* Double the capacity; the new slots are filled with [port] and the
+       live prefix blitted back, so every reachable index holds a real
+       port. *)
+    let grown = Array.make (Stdlib.max 8 (2 * capacity)) port in
+    Array.blit t.ports 0 grown 0 idx;
+    t.ports <- grown
+  end;
+  t.ports.(idx) <- port;
+  t.nports <- idx + 1;
+  idx
+
+let port_count t = t.nports
 
 let add_route t ~dst_ip ~port = Hashtbl.replace t.routes dst_ip [| port |]
 
@@ -66,14 +94,24 @@ let dynamic_threshold t =
      alpha times the unused share of the buffer pool. *)
   int_of_float (t.dt_alpha *. float_of_int (t.buffer_capacity - t.buffer_used))
 
-let drop t port_opt =
-  t.total_drops <- t.total_drops + 1;
-  match port_opt with None -> () | Some p -> p.drops <- p.drops + 1
+let drop t port_opt (pkt : Packet.t) ~port_idx ~reason =
+  Metrics.incr t.m_drops;
+  (match port_opt with None -> () | Some p -> p.drops <- p.drops + 1);
+  if Trace.enabled t.tracer then
+    Trace.emit t.tracer ~now:(Engine.now t.engine)
+      (Trace.Drop
+         {
+           node = t.name;
+           port = port_idx;
+           pkt = pkt.Packet.id;
+           size = Packet.wire_size pkt;
+           reason;
+         })
 
 let input t pkt =
-  t.input_packets <- t.input_packets + 1;
+  Metrics.incr t.m_input;
   match Hashtbl.find_opt t.routes pkt.Packet.key.dst_ip with
-  | None -> drop t None
+  | None -> drop t None pkt ~port_idx:(-1) ~reason:Trace.No_route
   | Some group ->
     (* ECMP: the same 5-tuple always hashes to the same member port, so a
        flow's packets stay in order. *)
@@ -84,15 +122,20 @@ let input t pkt =
     let port = t.ports.(idx) in
     let size = Packet.wire_size pkt in
     let qbytes = Txq.queued_bytes port.txq in
-    if t.buffer_used + size > t.buffer_capacity || qbytes + size > dynamic_threshold t then
-      drop t (Some port)
+    if t.buffer_used + size > t.buffer_capacity then
+      drop t (Some port) pkt ~port_idx:idx ~reason:Trace.Buffer_full
+    else if qbytes + size > dynamic_threshold t then
+      drop t (Some port) pkt ~port_idx:idx ~reason:Trace.Over_threshold
     else begin
       let admitted =
         match t.ecn with
         | Some { mark_threshold; byte_mode_ref } when qbytes + size > mark_threshold ->
           if Packet.is_ect pkt then begin
             pkt.Packet.ecn <- Packet.Ce;
-            t.ce_marks <- t.ce_marks + 1;
+            Metrics.incr t.m_ce_marks;
+            if Trace.enabled t.tracer then
+              Trace.emit t.tracer ~now:(Engine.now t.engine)
+                (Trace.Ce_mark { node = t.name; port = idx; pkt = pkt.Packet.id; qbytes });
             true
           end
           else begin
@@ -106,8 +149,8 @@ let input t pkt =
                 Eventsim.Rng.int t.rng ref_size < Stdlib.min ref_size size
             in
             if doomed then begin
-              drop t (Some port);
-              t.wred_drops <- t.wred_drops + 1
+              drop t (Some port) pkt ~port_idx:idx ~reason:Trace.Wred;
+              Metrics.incr t.m_wred_drops
             end;
             not doomed
           end
@@ -115,8 +158,9 @@ let input t pkt =
       in
       if admitted then begin
         t.buffer_used <- t.buffer_used + size;
-        t.forwarded_packets <- t.forwarded_packets + 1;
-        t.forwarded_bytes <- t.forwarded_bytes + size;
+        Metrics.set_max t.g_buffer_max t.buffer_used;
+        Metrics.incr t.m_forwarded_packets;
+        Metrics.add t.m_forwarded_bytes size;
         Txq.enqueue port.txq pkt;
         let q = Txq.queued_bytes port.txq in
         if q > port.max_queue then port.max_queue <- q
@@ -125,28 +169,30 @@ let input t pkt =
 
 let port_queue_bytes t idx = Txq.queued_bytes t.ports.(idx).txq
 let buffer_used t = t.buffer_used
-let forwarded_packets t = t.forwarded_packets
-let forwarded_bytes t = t.forwarded_bytes
-let drops t = t.total_drops
-let wred_drops t = t.wred_drops
-let ce_marks t = t.ce_marks
+let forwarded_packets t = Metrics.value t.m_forwarded_packets
+let forwarded_bytes t = Metrics.value t.m_forwarded_bytes
+let drops t = Metrics.value t.m_drops
+let wred_drops t = Metrics.value t.m_wred_drops
+let ce_marks t = Metrics.value t.m_ce_marks
 let port_drops t idx = t.ports.(idx).drops
 let max_port_queue t idx = t.ports.(idx).max_queue
 
 let drop_rate t =
-  if t.input_packets = 0 then 0.0 else float_of_int t.total_drops /. float_of_int t.input_packets
+  let input = Metrics.value t.m_input in
+  if input = 0 then 0.0 else float_of_int (Metrics.value t.m_drops) /. float_of_int input
 
 let name t = t.name
 
 let reset_counters t =
-  t.forwarded_packets <- 0;
-  t.forwarded_bytes <- 0;
-  t.input_packets <- 0;
-  t.total_drops <- 0;
-  t.wred_drops <- 0;
-  t.ce_marks <- 0;
-  Array.iter
-    (fun p ->
-      p.drops <- 0;
-      p.max_queue <- 0)
-    t.ports
+  Metrics.reset t.m_input;
+  Metrics.reset t.m_forwarded_packets;
+  Metrics.reset t.m_forwarded_bytes;
+  Metrics.reset t.m_drops;
+  Metrics.reset t.m_wred_drops;
+  Metrics.reset t.m_ce_marks;
+  Metrics.set t.g_buffer_max 0;
+  for i = 0 to t.nports - 1 do
+    let p = t.ports.(i) in
+    p.drops <- 0;
+    p.max_queue <- 0
+  done

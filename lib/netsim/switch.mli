@@ -20,6 +20,8 @@ type ecn_config = {
 }
 
 val create :
+  ?metrics:Obs.Metrics.t ->
+  ?tracer:Obs.Trace.t ->
   Eventsim.Engine.t ->
   ?name:string ->
   ?buffer_capacity:int ->
@@ -28,7 +30,12 @@ val create :
   unit ->
   t
 (** [buffer_capacity] defaults to 9 MB; [dt_alpha] is the dynamic-threshold
-    factor (default 1.0); [ecn = None] disables WRED/ECN (drop-tail only). *)
+    factor (default 1.0); [ecn = None] disables WRED/ECN (drop-tail only).
+
+    Counters register under [switch.<name>.*] in [metrics] (default: the
+    ambient {!Obs.Runtime.metrics}); drops, CE marks and per-port
+    enqueue/dequeue flow to [tracer] (default: {!Obs.Runtime.tracer} at
+    creation time). *)
 
 val add_port :
   t ->
@@ -38,7 +45,10 @@ val add_port :
   deliver:(Dcpkt.Packet.t -> unit) ->
   unit ->
   int
-(** Attach an output port whose far end is [deliver]; returns the port id. *)
+(** Attach an output port whose far end is [deliver]; returns the port id.
+    Amortized O(1): ports live in a doubling vector. *)
+
+val port_count : t -> int
 
 val add_route : t -> dst_ip:int -> port:int -> unit
 

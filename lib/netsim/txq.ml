@@ -9,12 +9,15 @@ type t = {
   jitter : (Eventsim.Rng.t * Time_ns.t) option;
   deliver : Packet.t -> unit;
   queue : Packet.t Queue.t;
+  tracer : Obs.Trace.t;
+  node : string;
+  port : int;
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable on_tx_complete : Packet.t -> unit;
 }
 
-let create engine ~rate_bps ~prop_delay ~jitter ~deliver =
+let create ?tracer ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jitter ~deliver =
   assert (rate_bps > 0);
   {
     engine;
@@ -23,6 +26,9 @@ let create engine ~rate_bps ~prop_delay ~jitter ~deliver =
     jitter;
     deliver;
     queue = Queue.create ();
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
+    node;
+    port;
     queued_bytes = 0;
     busy = false;
     on_tx_complete = ignore;
@@ -45,6 +51,16 @@ let rec start_next t =
     let size = Packet.wire_size pkt in
     let finish () =
       t.queued_bytes <- t.queued_bytes - size;
+      if Obs.Trace.enabled t.tracer then
+        Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+          (Obs.Trace.Dequeue
+             {
+               node = t.node;
+               port = t.port;
+               pkt = pkt.Packet.id;
+               size;
+               qbytes = t.queued_bytes;
+             });
       t.on_tx_complete pkt;
       let delay =
         match t.jitter with
@@ -58,5 +74,15 @@ let rec start_next t =
 
 let enqueue t pkt =
   t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+      (Obs.Trace.Enqueue
+         {
+           node = t.node;
+           port = t.port;
+           pkt = pkt.Packet.id;
+           size = Packet.wire_size pkt;
+           qbytes = t.queued_bytes;
+         });
   Queue.add pkt t.queue;
   if not t.busy then start_next t

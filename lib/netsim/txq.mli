@@ -8,6 +8,9 @@
 type t
 
 val create :
+  ?tracer:Obs.Trace.t ->
+  ?node:string ->
+  ?port:int ->
   Eventsim.Engine.t ->
   rate_bps:int ->
   prop_delay:Eventsim.Time_ns.t ->
@@ -16,7 +19,11 @@ val create :
   t
 (** [jitter (rng, j)] adds a uniform 0..j delay to each delivery — the
     sub-microsecond timing noise of real links.  Without it a deterministic
-    simulation can phase-lock queues at artificial equilibria. *)
+    simulation can phase-lock queues at artificial equilibria.
+
+    [tracer] (default: the ambient {!Obs.Runtime.tracer} at creation time)
+    receives an [Enqueue] event per admitted packet and a [Dequeue] event
+    when a packet finishes serializing, labelled [node]:[port]. *)
 
 val enqueue : t -> Dcpkt.Packet.t -> unit
 

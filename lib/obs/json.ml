@@ -1,0 +1,101 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf f =
+  if Float.is_finite f then begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* "%g" of a whole number prints no dot; that is still a valid JSON
+       number, so leave it alone. *)
+    ignore s
+  end
+  else Buffer.add_string buf "null"
+
+(* [indent < 0] means compact: no newlines, no spaces after separators. *)
+let rec write buf ~indent ~level = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s ->
+    Buffer.add_char buf '"';
+    add_escaped buf s;
+    Buffer.add_char buf '"'
+  | List items ->
+    write_seq buf ~indent ~level ~opening:'[' ~closing:']' items (fun buf ~indent ~level item ->
+        write buf ~indent ~level item)
+  | Obj fields ->
+    write_seq buf ~indent ~level ~opening:'{' ~closing:'}' fields
+      (fun buf ~indent ~level (k, v) ->
+        Buffer.add_char buf '"';
+        add_escaped buf k;
+        Buffer.add_string buf (if indent < 0 then "\":" else "\": ");
+        write buf ~indent ~level v)
+
+and write_seq : 'a.
+    Buffer.t ->
+    indent:int ->
+    level:int ->
+    opening:char ->
+    closing:char ->
+    'a list ->
+    (Buffer.t -> indent:int -> level:int -> 'a -> unit) ->
+    unit =
+ fun buf ~indent ~level ~opening ~closing items write_item ->
+  Buffer.add_char buf opening;
+  if items <> [] then begin
+    let level = level + 1 in
+    let newline () =
+      if indent >= 0 then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (indent * level) ' ')
+      end
+    in
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        newline ();
+        write_item buf ~indent ~level item)
+      items;
+    if indent >= 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * (level - 1)) ' ')
+    end
+  end;
+  Buffer.add_char buf closing
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  write buf ~indent:(-1) ~level:0 json;
+  Buffer.contents buf
+
+let to_string_pretty json =
+  let buf = Buffer.create 1024 in
+  write buf ~indent:2 ~level:0 json;
+  Buffer.contents buf
+
+let to_channel oc json =
+  output_string oc (to_string_pretty json);
+  output_char oc '\n'

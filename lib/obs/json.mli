@@ -1,0 +1,26 @@
+(** A minimal JSON document, enough for metric snapshots, trace lines and
+    bench summaries.  No external dependency: the container image has no
+    yojson, and the simulator only ever needs to *emit* JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+(** Non-finite floats are emitted as [null] (JSON has no NaN/inf). *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one trace event per line stays one
+    line.  Key order in [Obj] is preserved, so output is deterministic. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering for files meant to be read by humans
+    ([BENCH.json], metric sidecars). *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string_pretty] followed by a newline. *)

@@ -1,0 +1,28 @@
+let the_metrics = Metrics.create ()
+
+let the_tracer = ref Trace.null
+
+let trace_file = ref None
+
+let metrics () = the_metrics
+
+let tracer () = !the_tracer
+
+let set_tracer t = the_tracer := t
+
+let close_trace () =
+  (match !trace_file with
+  | Some oc ->
+    flush oc;
+    close_out oc;
+    trace_file := None
+  | None -> ());
+  the_tracer := Trace.null
+
+let trace_to_file path =
+  close_trace ();
+  let oc = open_out path in
+  trace_file := Some oc;
+  the_tracer := Trace.jsonl_channel oc
+
+let reset_metrics () = Metrics.reset_all the_metrics

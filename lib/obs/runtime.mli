@@ -1,0 +1,33 @@
+(** The ambient observability context.
+
+    Simulator components pick up their metrics registry and tracer from
+    here at construction time (overridable per component via [?metrics] /
+    [?tracer] arguments).  Drivers — the experiment CLI, the bench, tests —
+    configure the ambient context *before* building a topology, which is
+    how experiments opt into tracing without code changes:
+
+    {[
+      Obs.Runtime.trace_to_file "run.jsonl";   (* or set_tracer (ring ()) *)
+      (* ... build topology, run ... *)
+      Obs.Runtime.close_trace ()
+    ]}
+
+    The ambient tracer defaults to {!Trace.null}: tracing is off, and the
+    hot paths pay one branch per event. *)
+
+val metrics : unit -> Metrics.t
+(** The process-global registry.  Drivers call {!reset_metrics} between
+    runs for per-run snapshots. *)
+
+val tracer : unit -> Trace.t
+val set_tracer : Trace.t -> unit
+
+val trace_to_file : string -> unit
+(** Open [path] (truncating) and stream JSONL events to it; replaces any
+    tracer previously installed by [trace_to_file]. *)
+
+val close_trace : unit -> unit
+(** Flush and close a [trace_to_file] sink and reset the tracer to
+    {!Trace.null}.  No-op otherwise. *)
+
+val reset_metrics : unit -> unit

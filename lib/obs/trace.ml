@@ -1,0 +1,169 @@
+module Time_ns = Eventsim.Time_ns
+module Flow_key = Dcpkt.Flow_key
+
+type drop_reason = No_route | Buffer_full | Over_threshold | Wred
+
+type event =
+  | Enqueue of { node : string; port : int; pkt : int; size : int; qbytes : int }
+  | Dequeue of { node : string; port : int; pkt : int; size : int; qbytes : int }
+  | Drop of { node : string; port : int; pkt : int; size : int; reason : drop_reason }
+  | Ce_mark of { node : string; port : int; pkt : int; qbytes : int }
+  | Rwnd_rewrite of { flow : Flow_key.t; window : int; field : int }
+  | Alpha_update of { flow : Flow_key.t; alpha : float; fraction : float }
+  | Policer_drop of { flow : Flow_key.t; seq : int; window : int }
+  | Dupack of { flow : Flow_key.t; ack : int; count : int }
+  | Rto_fire of { flow : Flow_key.t; inferred : bool; count : int }
+
+type ring = {
+  slots : (Time_ns.t * event) option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+type t = Null | Ring of ring | Write of (string -> unit) | Tee of t * t
+
+let null = Null
+
+let tee a b = match (a, b) with Null, t | t, Null -> t | a, b -> Tee (a, b)
+
+let ring ?(capacity = 1024) () =
+  assert (capacity > 0);
+  Ring { slots = Array.make capacity None; next = 0; total = 0 }
+
+let jsonl ~write = Write write
+
+let jsonl_channel oc =
+  Write
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+
+let enabled = function Null -> false | Ring _ | Write _ | Tee _ -> true
+
+let reason_label = function
+  | No_route -> "no_route"
+  | Buffer_full -> "buffer_full"
+  | Over_threshold -> "over_threshold"
+  | Wred -> "wred"
+
+let flow_label (k : Flow_key.t) =
+  Printf.sprintf "%d:%d>%d:%d" k.src_ip k.src_port k.dst_ip k.dst_port
+
+let event_to_json ~now event =
+  let base kind rest = Json.Obj (("t", Json.Int now) :: ("ev", Json.String kind) :: rest) in
+  let queue_fields node port pkt size qbytes =
+    [
+      ("node", Json.String node);
+      ("port", Json.Int port);
+      ("pkt", Json.Int pkt);
+      ("size", Json.Int size);
+      ("qbytes", Json.Int qbytes);
+    ]
+  in
+  match event with
+  | Enqueue { node; port; pkt; size; qbytes } ->
+    base "enqueue" (queue_fields node port pkt size qbytes)
+  | Dequeue { node; port; pkt; size; qbytes } ->
+    base "dequeue" (queue_fields node port pkt size qbytes)
+  | Drop { node; port; pkt; size; reason } ->
+    base "drop"
+      [
+        ("node", Json.String node);
+        ("port", Json.Int port);
+        ("pkt", Json.Int pkt);
+        ("size", Json.Int size);
+        ("reason", Json.String (reason_label reason));
+      ]
+  | Ce_mark { node; port; pkt; qbytes } ->
+    base "ce_mark"
+      [
+        ("node", Json.String node);
+        ("port", Json.Int port);
+        ("pkt", Json.Int pkt);
+        ("qbytes", Json.Int qbytes);
+      ]
+  | Rwnd_rewrite { flow; window; field } ->
+    base "rwnd_rewrite"
+      [
+        ("flow", Json.String (flow_label flow));
+        ("window", Json.Int window);
+        ("field", Json.Int field);
+      ]
+  | Alpha_update { flow; alpha; fraction } ->
+    base "alpha_update"
+      [
+        ("flow", Json.String (flow_label flow));
+        ("alpha", Json.Float alpha);
+        ("fraction", Json.Float fraction);
+      ]
+  | Policer_drop { flow; seq; window } ->
+    base "policer_drop"
+      [
+        ("flow", Json.String (flow_label flow));
+        ("seq", Json.Int seq);
+        ("window", Json.Int window);
+      ]
+  | Dupack { flow; ack; count } ->
+    base "dupack"
+      [
+        ("flow", Json.String (flow_label flow));
+        ("ack", Json.Int ack);
+        ("count", Json.Int count);
+      ]
+  | Rto_fire { flow; inferred; count } ->
+    base "rto"
+      [
+        ("flow", Json.String (flow_label flow));
+        ("inferred", Json.Bool inferred);
+        ("count", Json.Int count);
+      ]
+
+let rec emit t ~now event =
+  match t with
+  | Null -> ()
+  | Ring r ->
+    r.slots.(r.next) <- Some (now, event);
+    r.next <- (r.next + 1) mod Array.length r.slots;
+    r.total <- r.total + 1
+  | Write write -> write (Json.to_string (event_to_json ~now event))
+  | Tee (a, b) ->
+    emit a ~now event;
+    emit b ~now event
+
+let rec events = function
+  | Null | Write _ -> []
+  | Ring r ->
+    let capacity = Array.length r.slots in
+    let oldest = if r.total <= capacity then 0 else r.next in
+    List.filter_map
+      (fun i -> r.slots.((oldest + i) mod capacity))
+      (List.init (Stdlib.min r.total capacity) Fun.id)
+  | Tee (a, b) -> events a @ events b
+
+let rec recorded = function
+  | Null | Write _ -> 0
+  | Ring r -> r.total
+  | Tee (a, b) -> recorded a + recorded b
+
+let pp_event fmt event =
+  let flow = Flow_key.pp in
+  match event with
+  | Enqueue { node; port; pkt; size; qbytes } ->
+    Format.fprintf fmt "enqueue %s:%d pkt=%d size=%d q=%d" node port pkt size qbytes
+  | Dequeue { node; port; pkt; size; qbytes } ->
+    Format.fprintf fmt "dequeue %s:%d pkt=%d size=%d q=%d" node port pkt size qbytes
+  | Drop { node; port; pkt; size; reason } ->
+    Format.fprintf fmt "drop    %s:%d pkt=%d size=%d (%s)" node port pkt size
+      (reason_label reason)
+  | Ce_mark { node; port; pkt; qbytes } ->
+    Format.fprintf fmt "ce-mark %s:%d pkt=%d q=%d" node port pkt qbytes
+  | Rwnd_rewrite { flow = f; window; field } ->
+    Format.fprintf fmt "rwnd    %a -> %d bytes (field %d)" flow f window field
+  | Alpha_update { flow = f; alpha; fraction } ->
+    Format.fprintf fmt "alpha   %a = %.3f (frac %.3f)" flow f alpha fraction
+  | Policer_drop { flow = f; seq; window } ->
+    Format.fprintf fmt "police  %a seq=%d beyond window %d" flow f seq window
+  | Dupack { flow = f; ack; count } ->
+    Format.fprintf fmt "dupack  %a ack=%d #%d" flow f ack count
+  | Rto_fire { flow = f; inferred; count } ->
+    Format.fprintf fmt "rto     %a %s#%d" flow f (if inferred then "(inferred) " else "") count

@@ -1,0 +1,74 @@
+(** Structured flow tracing.
+
+    Every congestion-relevant event in the simulator is one [event] value,
+    recorded through a pluggable sink.  Timestamps are the engine's virtual
+    clock, so a trace of a deterministic run is itself deterministic —
+    byte-identical across re-runs with the same seed.
+
+    The hot-path contract: callers guard with [enabled] so a disabled
+    tracer costs one load and one branch, and allocates nothing:
+
+    {[
+      if Obs.Trace.enabled tracer then
+        Obs.Trace.emit tracer ~now (Obs.Trace.Ce_mark { ... })
+    ]} *)
+
+type drop_reason =
+  | No_route  (** no switch route for the destination IP *)
+  | Buffer_full  (** shared buffer pool exhausted *)
+  | Over_threshold  (** dynamic per-port threshold exceeded *)
+  | Wred  (** WRED dropped a non-ECT packet over the mark threshold *)
+
+type event =
+  | Enqueue of { node : string; port : int; pkt : int; size : int; qbytes : int }
+      (** Packet admitted to a transmit queue; [qbytes] includes it. *)
+  | Dequeue of { node : string; port : int; pkt : int; size : int; qbytes : int }
+      (** Packet finished serializing; [qbytes] is what remains behind it. *)
+  | Drop of { node : string; port : int; pkt : int; size : int; reason : drop_reason }
+      (** [port] is [-1] when no output port was selected (e.g. no route). *)
+  | Ce_mark of { node : string; port : int; pkt : int; qbytes : int }
+  | Rwnd_rewrite of { flow : Dcpkt.Flow_key.t; window : int; field : int }
+      (** AC/DC shrank an ACK's advertised window to [window] bytes,
+          written as the 16-bit [field] (§3.3). *)
+  | Alpha_update of { flow : Dcpkt.Flow_key.t; alpha : float; fraction : float }
+      (** Per-RTT DCTCP estimator update; [fraction] is this window's
+          marked-byte fraction. *)
+  | Policer_drop of { flow : Dcpkt.Flow_key.t; seq : int; window : int }
+      (** AC/DC dropped a segment from a non-conforming stack (§3.3). *)
+  | Dupack of { flow : Dcpkt.Flow_key.t; ack : int; count : int }
+  | Rto_fire of { flow : Dcpkt.Flow_key.t; inferred : bool; count : int }
+      (** [inferred] distinguishes the vSwitch's inactivity-timer inference
+          (§3.1) from a real endpoint RTO. *)
+
+type t
+(** A tracer: a sink plus its enabled flag. *)
+
+val null : t
+(** The disabled tracer.  [enabled null = false]; [emit] is a no-op. *)
+
+val ring : ?capacity:int -> unit -> t
+(** Keep the last [capacity] (default 1024) events in memory. *)
+
+val jsonl : write:(string -> unit) -> t
+(** Stream each event as one compact JSON line to [write] (the string has
+    no trailing newline). *)
+
+val jsonl_channel : out_channel -> t
+(** [jsonl] writing newline-terminated lines to a channel. *)
+
+val tee : t -> t -> t
+(** Emit every event to both sinks (e.g. a ring for replay plus a JSONL
+    file).  [tee null t = t]. *)
+
+val enabled : t -> bool
+val emit : t -> now:Eventsim.Time_ns.t -> event -> unit
+
+val events : t -> (Eventsim.Time_ns.t * event) list
+(** Recorded events, oldest first.  Only ring tracers record; [[]]
+    otherwise. *)
+
+val recorded : t -> int
+(** Total events emitted to a ring tracer (including overwritten ones). *)
+
+val event_to_json : now:Eventsim.Time_ns.t -> event -> Json.t
+val pp_event : Format.formatter -> event -> unit

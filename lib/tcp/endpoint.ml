@@ -52,6 +52,7 @@ type t = {
   is_client : bool;
   algo : Cc.t;
   rto : Rto.t;
+  tracer : Obs.Trace.t;
   (* --- sender state --- *)
   mutable state : state;
   mutable snd_una : int;
@@ -95,7 +96,7 @@ type t = {
 
 let data_start = 1 (* client ISS = 0; SYN consumes one sequence number *)
 
-let create engine config ~key ~out ~is_client =
+let create ?tracer engine config ~key ~out ~is_client =
   {
     engine;
     config;
@@ -104,6 +105,7 @@ let create engine config ~key ~out ~is_client =
     is_client;
     algo = config.cc ();
     rto = Rto.create ~min_rto:config.min_rto ();
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
     state = (if is_client then Closed else Listen);
     snd_una = 0;
     snd_nxt = 0;
@@ -142,8 +144,11 @@ let create engine config ~key ~out ~is_client =
     bytes_hook = (fun _ _ -> ());
   }
 
-let create_client engine config ~key ~out = create engine config ~key ~out ~is_client:true
-let create_server engine config ~key ~out = create engine config ~key ~out ~is_client:false
+let create_client ?tracer engine config ~key ~out =
+  create ?tracer engine config ~key ~out ~is_client:true
+
+let create_server ?tracer engine config ~key ~out =
+  create ?tracer engine config ~key ~out ~is_client:false
 
 let on_established t f = t.established_cb <- f
 
@@ -243,6 +248,9 @@ and handle_rto t =
   t.rto_timer <- None;
   if t.snd_una < t.snd_nxt && t.state <> Closed then begin
     t.timeouts <- t.timeouts + 1;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.Rto_fire { flow = t.key; inferred = false; count = t.timeouts });
     Log.debug (fun m ->
         m "%a: RTO #%d (una=%d nxt=%d cwnd=%d)" Flow_key.pp t.key t.timeouts t.snd_una
           t.snd_nxt t.cwnd);
@@ -561,6 +569,9 @@ let handle_ack t (pkt : Packet.t) =
   end
   else if pkt.ack = t.snd_una && t.snd_nxt > t.snd_una && pkt.payload = 0 then begin
     t.dupacks <- t.dupacks + 1;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.Dupack { flow = t.key; ack = pkt.ack; count = t.dupacks });
     if t.in_recovery then begin
       (* The SACK information freshly absorbed may open the window. *)
       retransmit_holes t;

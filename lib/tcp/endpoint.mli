@@ -44,12 +44,24 @@ val config_for_mtu : config -> mtu:int -> config
 (** Adjust [mss] for an MTU assuming 40 bytes of TCP/IP headers. *)
 
 val create_client :
-  Eventsim.Engine.t -> config -> key:Dcpkt.Flow_key.t -> out:(Dcpkt.Packet.t -> unit) -> t
+  ?tracer:Obs.Trace.t ->
+  Eventsim.Engine.t ->
+  config ->
+  key:Dcpkt.Flow_key.t ->
+  out:(Dcpkt.Packet.t -> unit) ->
+  t
 (** [key] is the client-to-server direction. [out] hands packets to the
-    host's egress path. *)
+    host's egress path.  [tracer] (default: the ambient
+    {!Obs.Runtime.tracer} at creation time) receives dupack and RTO
+    events. *)
 
 val create_server :
-  Eventsim.Engine.t -> config -> key:Dcpkt.Flow_key.t -> out:(Dcpkt.Packet.t -> unit) -> t
+  ?tracer:Obs.Trace.t ->
+  Eventsim.Engine.t ->
+  config ->
+  key:Dcpkt.Flow_key.t ->
+  out:(Dcpkt.Packet.t -> unit) ->
+  t
 (** [key] is the server-to-client direction (the packets this endpoint
     emits). *)
 

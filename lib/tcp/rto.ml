@@ -7,12 +7,24 @@ type t = {
   mutable rttvar : float;
   mutable have_sample : bool;
   mutable backoff_factor : int;
+  mutable samples : int;
+  mutable backoffs : int;
 }
 
 let create ?(min_rto = Time_ns.ms 10) ?(max_rto = Time_ns.sec 4.0) () =
-  { min_rto; max_rto; srtt = 0.0; rttvar = 0.0; have_sample = false; backoff_factor = 1 }
+  {
+    min_rto;
+    max_rto;
+    srtt = 0.0;
+    rttvar = 0.0;
+    have_sample = false;
+    backoff_factor = 1;
+    samples = 0;
+    backoffs = 0;
+  }
 
 let observe t sample =
+  t.samples <- t.samples + 1;
   let r = float_of_int sample in
   if t.have_sample then begin
     (* RFC 6298 gains: beta = 1/4, alpha = 1/8. *)
@@ -32,8 +44,14 @@ let timeout t =
   in
   Time_ns.min t.max_rto (Time_ns.max t.min_rto base * t.backoff_factor)
 
-let backoff t = if t.backoff_factor < 64 then t.backoff_factor <- t.backoff_factor * 2
+let backoff t =
+  t.backoffs <- t.backoffs + 1;
+  if t.backoff_factor < 64 then t.backoff_factor <- t.backoff_factor * 2
 
 let reset_backoff t = t.backoff_factor <- 1
 
 let srtt t = if t.have_sample then Some (int_of_float t.srtt) else None
+
+let samples t = t.samples
+
+let backoffs t = t.backoffs

@@ -20,3 +20,9 @@ val reset_backoff : t -> unit
 
 val srtt : t -> Eventsim.Time_ns.t option
 (** Smoothed RTT, if at least one sample arrived. *)
+
+val samples : t -> int
+(** RTT samples observed so far. *)
+
+val backoffs : t -> int
+(** Times [backoff] fired (exponential-backoff events). *)

@@ -11,14 +11,22 @@ let no_op name =
 
 type t = {
   mutable processors : processor list; (* registration order *)
-  mutable egress_packets : int;
-  mutable ingress_packets : int;
-  mutable egress_drops : int;
-  mutable ingress_drops : int;
+  m_egress_packets : Obs.Metrics.counter;
+  m_ingress_packets : Obs.Metrics.counter;
+  m_egress_drops : Obs.Metrics.counter;
+  m_ingress_drops : Obs.Metrics.counter;
 }
 
-let create () =
-  { processors = []; egress_packets = 0; ingress_packets = 0; egress_drops = 0; ingress_drops = 0 }
+let create ?metrics () =
+  let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
+  let scope = Obs.Metrics.scope registry "vswitch" in
+  {
+    processors = [];
+    m_egress_packets = Obs.Metrics.scope_counter scope "egress_packets";
+    m_ingress_packets = Obs.Metrics.scope_counter scope "ingress_packets";
+    m_egress_drops = Obs.Metrics.scope_counter scope "egress_drops";
+    m_ingress_drops = Obs.Metrics.scope_counter scope "ingress_drops";
+  }
 
 let add_processor t p = t.processors <- t.processors @ [ p ]
 
@@ -30,18 +38,18 @@ let run_chain processors pkt ~inject ~select =
   loop processors
 
 let process_egress t pkt ~emit =
-  t.egress_packets <- t.egress_packets + 1;
+  Obs.Metrics.incr t.m_egress_packets;
   match run_chain t.processors pkt ~inject:emit ~select:(fun p -> p.egress) with
   | Pass -> emit pkt
-  | Drop -> t.egress_drops <- t.egress_drops + 1
+  | Drop -> Obs.Metrics.incr t.m_egress_drops
 
 let process_ingress t pkt ~deliver =
-  t.ingress_packets <- t.ingress_packets + 1;
+  Obs.Metrics.incr t.m_ingress_packets;
   match run_chain t.processors pkt ~inject:deliver ~select:(fun p -> p.ingress) with
   | Pass -> deliver pkt
-  | Drop -> t.ingress_drops <- t.ingress_drops + 1
+  | Drop -> Obs.Metrics.incr t.m_ingress_drops
 
-let egress_packets t = t.egress_packets
-let ingress_packets t = t.ingress_packets
-let egress_drops t = t.egress_drops
-let ingress_drops t = t.ingress_drops
+let egress_packets t = Obs.Metrics.value t.m_egress_packets
+let ingress_packets t = Obs.Metrics.value t.m_ingress_packets
+let egress_drops t = Obs.Metrics.value t.m_egress_drops
+let ingress_drops t = Obs.Metrics.value t.m_ingress_drops

@@ -24,7 +24,11 @@ val no_op : string -> processor
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Obs.Metrics.t -> unit -> t
+(** Counters register under [vswitch.*] in [metrics] (default: the ambient
+    {!Obs.Runtime.metrics}); per-host datapaths therefore sum into one
+    aggregate view while each instance keeps exact private values. *)
+
 val add_processor : t -> processor -> unit
 
 val process_egress : t -> Dcpkt.Packet.t -> emit:(Dcpkt.Packet.t -> unit) -> unit

@@ -285,6 +285,29 @@ let prop_switch_conservation =
       && !delivered = Switch.forwarded_packets sw
       && Switch.buffer_used sw = 0)
 
+(* The port table grows by doubling; every id handed out must stay live
+   and routable after many growth steps. *)
+let test_switch_many_ports () =
+  let engine = Engine.create () in
+  let sw = Switch.create engine () in
+  for i = 0 to 199 do
+    let port =
+      Switch.add_port sw ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero ~deliver:ignore ()
+    in
+    check_int "dense port ids" i port
+  done;
+  let hits = ref 0 in
+  let port =
+    Switch.add_port sw ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero
+      ~deliver:(fun _ -> incr hits)
+      ()
+  in
+  check_int "port_count" 201 (Switch.port_count sw);
+  Switch.add_route sw ~dst_ip:2 ~port;
+  Switch.input sw (data_packet ());
+  Engine.run engine;
+  check_int "delivered via grown port" 1 !hits
+
 let netsim_qtests = List.map QCheck_alcotest.to_alcotest [ prop_switch_conservation ]
 
 let () =
@@ -309,6 +332,7 @@ let () =
           Alcotest.test_case "ecmp groups" `Quick test_switch_ecmp_group;
           Alcotest.test_case "saturated port serves line rate" `Quick
             test_switch_saturated_port_rate;
+          Alcotest.test_case "port table growth" `Quick test_switch_many_ports;
         ] );
       ("properties", netsim_qtests);
     ]

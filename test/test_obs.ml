@@ -1,0 +1,175 @@
+module Engine = Eventsim.Engine
+module Time_ns = Eventsim.Time_ns
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Json = Obs.Json
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_counter_semantics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "pkts" in
+  check_int "fresh counter" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  check_int "incr + add" 42 (Metrics.value c);
+  Metrics.reset c;
+  check_int "reset" 0 (Metrics.value c)
+
+let test_gauge_semantics () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "depth" in
+  Metrics.set g 7;
+  Metrics.set_max g 3;
+  check_int "set_max keeps high water" 7 (Metrics.gauge_value g);
+  Metrics.set_max g 11;
+  check_int "set_max raises" 11 (Metrics.gauge_value g);
+  Metrics.set g 2;
+  check_int "set overrides" 2 (Metrics.gauge_value g)
+
+let test_merge_and_scopes () =
+  let reg = Metrics.create () in
+  let s1 = Metrics.sub (Metrics.scope reg "switch") "left"
+  and s2 = Metrics.sub (Metrics.scope reg "switch") "right" in
+  let d1 = Metrics.scope_counter s1 "drops" and d2 = Metrics.scope_counter s2 "drops" in
+  (* Same name twice: private handles stay exact, snapshots sum. *)
+  let d1' = Metrics.scope_counter s1 "drops" in
+  Metrics.add d1 3;
+  Metrics.add d1' 4;
+  Metrics.add d2 5;
+  check_int "private handle" 3 (Metrics.value d1);
+  Alcotest.(check (option int)) "merged sum" (Some 7) (Metrics.find reg "switch.left.drops");
+  Alcotest.(check (list (pair string int)))
+    "sorted snapshot"
+    [ ("switch.left.drops", 7); ("switch.right.drops", 5) ]
+    (Metrics.counters reg);
+  let q1 = Metrics.scope_gauge s1 "qmax" and q2 = Metrics.scope_gauge s2 "qmax" in
+  Metrics.set_max q1 10;
+  Metrics.set_max q2 30;
+  let q1'' = Metrics.scope_gauge s1 "qmax" in
+  Metrics.set_max q1'' 20;
+  Alcotest.(check (option int)) "gauges merge by max" (Some 30) (Metrics.find reg "switch.right.qmax");
+  Metrics.reset_all reg;
+  check_int "reset_all" 0 (Metrics.value d2);
+  check_int "reset_all gauge" 0 (Metrics.gauge_value q1)
+
+let test_metrics_json () =
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "b") 2;
+  Metrics.add (Metrics.counter reg "a") 1;
+  Metrics.set (Metrics.gauge reg "g") 9;
+  check_string "deterministic dump" {|{"counters":{"a":1,"b":2},"gauges":{"g":9}}|}
+    (Json.to_string (Metrics.to_json reg))
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring                                                          *)
+
+let enq i =
+  Trace.Enqueue { node = "sw"; port = 0; pkt = i; size = 100; qbytes = 100 * i }
+
+let pkt_ids tracer =
+  List.map
+    (fun (_, ev) -> match ev with Trace.Enqueue { pkt; _ } -> pkt | _ -> -1)
+    (Trace.events tracer)
+
+let test_ring_wraparound () =
+  let tracer = Trace.ring ~capacity:4 () in
+  Alcotest.(check bool) "enabled" true (Trace.enabled tracer);
+  for i = 1 to 6 do
+    Trace.emit tracer ~now:(Time_ns.us i) (enq i)
+  done;
+  check_int "total emitted" 6 (Trace.recorded tracer);
+  Alcotest.(check (list int)) "last capacity events, oldest first" [ 3; 4; 5; 6 ]
+    (pkt_ids tracer)
+
+let test_ring_partial_fill () =
+  let tracer = Trace.ring ~capacity:8 () in
+  for i = 1 to 3 do
+    Trace.emit tracer ~now:(Time_ns.us i) (enq i)
+  done;
+  Alcotest.(check (list int)) "no padding before wrap" [ 1; 2; 3 ] (pkt_ids tracer)
+
+let test_null_and_tee () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Trace.emit Trace.null ~now:Time_ns.zero (enq 1) (* must be a no-op *);
+  let ring = Trace.ring ~capacity:4 () in
+  let lines = ref [] in
+  let tee = Trace.tee ring (Trace.jsonl ~write:(fun l -> lines := l :: !lines)) in
+  Trace.emit tee ~now:(Time_ns.us 1) (enq 1);
+  check_int "ring side" 1 (Trace.recorded tee);
+  check_int "jsonl side" 1 (List.length !lines);
+  Alcotest.(check bool) "tee null collapses" true (Trace.tee Trace.null ring == ring)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: the same seeded simulation twice produces byte-identical
+   JSONL traces (virtual timestamps, no wall-clock anywhere).           *)
+
+let trace_of_run () =
+  Dcpkt.Packet.reset_ids ();
+  let buf = Buffer.create 4096 in
+  let tracer = Trace.jsonl ~write:(fun l -> Buffer.add_string buf l; Buffer.add_char buf '\n') in
+  Obs.Runtime.set_tracer tracer;
+  let params = Fabric.Params.with_ecn Fabric.Params.default in
+  let engine = Engine.create () in
+  let net =
+    Fabric.Topology.dumbbell engine ~params
+      ~acdc:(Fabric.Topology.acdc_everywhere params)
+      ~pairs:2 ()
+  in
+  let config = Fabric.Params.tcp_config params ~cc:Tcp.Cubic.factory ~ecn:false in
+  let conns =
+    List.init 2 (fun i ->
+        let c =
+          Fabric.Conn.establish
+            ~src:(Fabric.Topology.host net i)
+            ~dst:(Fabric.Topology.host net (2 + i))
+            ~config ()
+        in
+        Fabric.Conn.send_forever c;
+        c)
+  in
+  ignore conns;
+  Engine.run ~until:(Time_ns.ms 5) engine;
+  Fabric.Topology.shutdown net;
+  Obs.Runtime.set_tracer Trace.null;
+  Buffer.contents buf
+
+let test_jsonl_determinism () =
+  let a = trace_of_run () and b = trace_of_run () in
+  Alcotest.(check bool) "trace non-empty" true (String.length a > 0);
+  check_int "same length" (String.length a) (String.length b);
+  check_string "byte-identical" (Digest.to_hex (Digest.string a))
+    (Digest.to_hex (Digest.string b))
+
+(* ------------------------------------------------------------------ *)
+(* JSON emitter corner cases                                           *)
+
+let test_json_escaping () =
+  check_string "escapes" {|{"k":"a\"b\\c\n\u0001"}|}
+    (Json.to_string (Json.Obj [ ("k", Json.String "a\"b\\c\n\x01") ]));
+  check_string "non-finite floats are null" {|[null,null,1.5]|}
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ]))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "merge + scopes" `Quick test_merge_and_scopes;
+          Alcotest.test_case "json dump" `Quick test_metrics_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
+          Alcotest.test_case "null + tee" `Quick test_null_and_tee;
+          Alcotest.test_case "jsonl determinism" `Quick test_jsonl_determinism;
+        ] );
+      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+    ]
