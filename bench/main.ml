@@ -285,20 +285,62 @@ let ablation_window_floor () =
    vSwitch datapath and the AC/DC hooks in well under a second so the
    workflow can upload a real BENCH.json on every push. *)
 
+let report_out = ref "REPORT.json"
+
 let smoke () =
   Format.printf "@.=== smoke: 5-pair AC/DC dumbbell, 100 ms ===@.";
   let scheme = Experiments.Harness.acdc () in
   let pairs = 5 in
   let net = Experiments.Harness.dumbbell scheme ~pairs () in
   let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs in
+  (* Instrument the run: switch queues, one flow's enforced window, the
+     aggregate goodput counter and a sockperf-style RTT probe all feed the
+     run report. *)
+  let ts = Experiments.Harness.new_timeseries net in
+  let sample_every = Eventsim.Time_ns.us 500 in
+  Array.iter
+    (fun sw -> Netsim.Switch.register_probes sw ~ts ~interval:sample_every ())
+    net.Fabric.Topology.switches;
+  (match Fabric.Host.acdc (Fabric.Topology.host net 0) with
+  | Some instance ->
+    Acdc.Sender.register_flow_probes (Acdc.sender instance) ~ts ~prefix:"flow0"
+      ~interval:sample_every
+      (Fabric.Conn.key (List.hd conns))
+  | None -> ());
+  ignore
+    (Workload.Goodput.track_aggregate ts ~name:"goodput.bytes_acked" ~interval:sample_every
+       conns);
+  let probe =
+    Workload.Probe.start
+      ~src:(Fabric.Topology.host net 0)
+      ~dst:(Fabric.Topology.host net pairs)
+      ~config:(Experiments.Harness.host_config scheme net.Fabric.Topology.params)
+      ~warmup:(Eventsim.Time_ns.ms 20) ()
+  in
   let tputs =
     Experiments.Harness.measure_goodput net conns
       ~warmup:(Eventsim.Time_ns.ms 20)
       ~duration:(Eventsim.Time_ns.ms 80)
   in
+  Experiments.Harness.finish_timeseries ts;
   Fabric.Topology.shutdown net;
   Format.printf "  goodput %a Gbps, %d switch drops@." Experiments.Harness.pp_gbps_list tputs
     (Fabric.Topology.total_switch_drops net);
+  let report =
+    Experiments.Harness.report_of_run ~id:"smoke" ~scheme
+      ~config:
+        [
+          ("pairs", Obs.Json.Int pairs);
+          ("warmup_ms", Obs.Json.Int 20);
+          ("duration_ms", Obs.Json.Int 80);
+        ]
+      ~goodputs:tputs ~timeseries:ts ()
+  in
+  Obs.Report.add_int report "switch_drops" (Fabric.Topology.total_switch_drops net);
+  Obs.Report.add_samples report ~name:"probe_rtt_ms" ~unit_label:"ms"
+    (Workload.Probe.samples_ms probe);
+  Obs.Report.write report ~path:!report_out;
+  Format.printf "  wrote %s@." !report_out;
   run_cpu_bench ~quota:0.05 ()
 
 (* ------------------------------------------------------------------ *)
@@ -341,6 +383,9 @@ let () =
   let rec parse ids out = function
     | [] -> (List.rev ids, out)
     | "-o" :: path :: rest -> parse ids (Some path) rest
+    | "--report" :: path :: rest ->
+      report_out := path;
+      parse ids out rest
     | arg :: rest -> parse (arg :: ids) out rest
   in
   let ids, out = parse [] None (List.tl (Array.to_list Sys.argv)) in

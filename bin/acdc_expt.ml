@@ -7,7 +7,7 @@ let list_experiments () =
     Experiments.Registry.all
 
 (* Run each experiment bracketed by the observability harness; returns
-   one machine-readable sidecar per id for --metrics-out. *)
+   per-id timings plus one machine-readable sidecar for --metrics-out. *)
 let run_ids ids =
   let missing = List.filter (fun id -> Experiments.Registry.find id = None) ids in
   if missing <> [] then begin
@@ -23,9 +23,27 @@ let run_ids ids =
              Experiments.Harness.timed_run (fun () -> e.Experiments.Registry.run ())
            in
            Format.printf "  [%s finished in %.1fs]@." id wall_s;
-           Experiments.Harness.run_sidecar ~id ~wall_s ~events :: acc
+           (id, wall_s, events, Experiments.Harness.run_sidecar ~id ~wall_s ~events) :: acc
          | None -> assert false)
        [] ids)
+
+let write_report ~path runs =
+  let report =
+    Obs.Report.create ~id:(String.concat "+" (List.map (fun (id, _, _, _) -> id) runs)) ()
+  in
+  Obs.Report.add_config report "experiments"
+    (Obs.Json.List (List.map (fun (id, _, _, _) -> Obs.Json.String id) runs));
+  List.iter
+    (fun (id, wall_s, events, _) ->
+      Obs.Report.add_scalar report (id ^ ".wall_s") wall_s;
+      Obs.Report.add_scalar report (id ^ ".events_per_sec")
+        (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0))
+    runs;
+  (* The ambient registry holds the last experiment's counters (timed_run
+     resets between runs); the per-experiment snapshots live in the
+     sidecars written by --metrics-out. *)
+  Obs.Report.set_metrics report (Obs.Runtime.metrics ());
+  Obs.Report.write report ~path
 
 open Cmdliner
 
@@ -57,28 +75,70 @@ let metrics_arg =
   let doc = "Write per-experiment metric snapshots (JSON) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-let main verbose list trace metrics_out ids =
+let report_arg =
+  let doc = "Write a structured run report (see README 'Run reports') to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let timeseries_arg =
+  let doc =
+    "Export every instrumented experiment's time-series channels as CSV files into $(docv) \
+     (created if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"DIR" ~doc)
+
+let main verbose list trace metrics_out report timeseries ids =
   setup_logs verbose;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
      Format.eprintf "cannot open trace file: %s@." msg;
      exit 1);
+  (* Fail on unwritable output paths before spending minutes simulating. *)
+  (try
+     Option.iter
+       (fun path ->
+         let oc = open_out path in
+         close_out oc)
+       report
+   with Sys_error msg ->
+     Format.eprintf "cannot open report file: %s@." msg;
+     exit 1);
+  (try
+     Option.iter
+       (fun dir ->
+         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+         else if not (Sys.is_directory dir) then raise (Sys_error (dir ^ ": not a directory"));
+         Obs.Runtime.set_timeseries_sink ~dir)
+       timeseries
+   with Sys_error msg ->
+     Format.eprintf "cannot open timeseries directory: %s@." msg;
+     exit 1);
   if list || ids = [] then list_experiments ()
   else begin
     let ids = if ids = [ "all" ] then Experiments.Registry.ids else ids in
-    let sidecars = run_ids ids in
+    let runs = run_ids ids in
     Option.iter
       (fun path ->
-        Experiments.Harness.write_json ~path (Obs.Json.List sidecars);
+        Experiments.Harness.write_json ~path
+          (Obs.Json.List (List.map (fun (_, _, _, sidecar) -> sidecar) runs));
         Format.printf "  [metrics written to %s]@." path)
-      metrics_out
+      metrics_out;
+    Option.iter
+      (fun path ->
+        write_report ~path runs;
+        Format.printf "  [report written to %s]@." path)
+      report;
+    Option.iter (Format.printf "  [timeseries written to %s]@.") timeseries
   end;
+  Obs.Runtime.clear_timeseries_sink ();
   Obs.Runtime.close_trace ();
   Option.iter (Format.printf "  [trace written to %s]@.") trace
 
 let cmd =
   let doc = "reproduce the AC/DC TCP (SIGCOMM 2016) experiments" in
   let info = Cmd.info "acdc_expt" ~doc in
-  Cmd.v info Term.(const main $ verbose_arg $ list_arg $ trace_arg $ metrics_arg $ ids_arg)
+  Cmd.v info
+    Term.(
+      const main $ verbose_arg $ list_arg $ trace_arg $ metrics_arg $ report_arg
+      $ timeseries_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

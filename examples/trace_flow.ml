@@ -13,9 +13,16 @@
      ambient sink records every enqueue, CE mark and RWND rewrite across
      the whole fabric, and the tail of that ring is replayed at the end.
 
+   - the time-series layer (Obs.Timeseries): virtual-clock probes sample
+     the switch's queue depth and the flow's enforced window every 100 us,
+     and the channels are summarized (and optionally dumped as CSV) at the
+     end.
+
    Run with: dune exec examples/trace_flow.exe
              dune exec examples/trace_flow.exe -- /tmp/flow.jsonl
-   (with a file argument the full trace is also streamed there as JSONL) *)
+             dune exec examples/trace_flow.exe -- /tmp/flow.jsonl /tmp/flow-ts
+   (with a file argument the full trace is also streamed there as JSONL;
+   with a directory argument each channel is written as <dir>/<name>.csv) *)
 
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
@@ -48,7 +55,12 @@ let () =
   (* Install the ambient tracer *before* the topology is built — switches
      and NICs capture it at construction time. *)
   let ring = Obs.Trace.ring ~capacity:4096 () in
-  let file = match Sys.argv with [| _; path |] -> Some (open_out path, path) | _ -> None in
+  let file, csv_dir =
+    match Sys.argv with
+    | [| _; path |] -> (Some (open_out path, path), None)
+    | [| _; path; dir |] -> (Some (open_out path, path), Some dir)
+    | _ -> (None, None)
+  in
   Obs.Runtime.set_tracer
     (match file with
     | Some (oc, _) -> Obs.Trace.tee ring (Obs.Trace.jsonl_channel oc)
@@ -70,9 +82,23 @@ let () =
     Fabric.Conn.establish ~src:(Fabric.Topology.host net 0) ~dst:(Fabric.Topology.host net 1)
       ~config ()
   in
+  (* Time-series channels: switch queues and this flow's enforced window,
+     sampled on the virtual clock.  Probes registered before Engine.run
+     take their first sample at t=0. *)
+  let ts = Obs.Timeseries.create engine in
+  let sample_every = Time_ns.us 100 in
+  Array.iter
+    (fun sw -> Netsim.Switch.register_probes sw ~ts ~interval:sample_every ())
+    net.Fabric.Topology.switches;
+  (match Fabric.Host.acdc (Fabric.Topology.host net 0) with
+  | Some instance ->
+    Acdc.Sender.register_flow_probes (Acdc.sender instance) ~ts ~prefix:"flow"
+      ~interval:sample_every (Fabric.Conn.key conn)
+  | None -> ());
   Fabric.Conn.send_message conn ~bytes:65_536 ~on_complete:(fun fct ->
       Format.printf "@.  transfer of 64 KB completed in %a@." Time_ns.pp fct);
   Engine.run ~until:(Time_ns.ms 50) engine;
+  Obs.Timeseries.stop ts;
   (match Fabric.Host.acdc (Fabric.Topology.host net 0) with
   | Some instance ->
     let sender = Acdc.sender instance in
@@ -103,10 +129,27 @@ let () =
   List.iter
     (fun (name, v) -> if v > 0 then Format.printf "  %-36s %d@." name v)
     (Obs.Metrics.counters (Obs.Runtime.metrics ()));
+  Format.printf "@.Time-series channels (sampled every %.0f us of virtual time):@."
+    (Time_ns.to_us sample_every);
+  List.iter
+    (fun ch ->
+      let last =
+        match Obs.Timeseries.last ch with
+        | Some (_, v) -> Printf.sprintf "%.0f" v
+        | None -> "-"
+      in
+      Format.printf "  %-28s %4d points, last %s %s@." (Obs.Timeseries.name ch)
+        (Obs.Timeseries.length ch) last (Obs.Timeseries.unit_label ch))
+    (Obs.Timeseries.channels ts);
   (match file with
   | Some (oc, path) ->
     close_out oc;
     Format.printf "@.full JSONL trace written to %s@." path
+  | None -> ());
+  (match csv_dir with
+  | Some dir ->
+    Obs.Timeseries.write_csv_dir ts ~dir;
+    Format.printf "time-series CSVs written to %s/@." dir
   | None -> ());
   Format.printf
     "@.Things to notice: the tenant sent Not-ECT data (it has no ECN), yet@\n\

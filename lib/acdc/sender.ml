@@ -491,6 +491,21 @@ let flow_window t key =
 let flow_alpha t key =
   Option.map (fun flow -> flow.alpha) (Vswitch.Flow_table.find t.table key)
 
+let flow_inflight t key =
+  Option.map (fun flow -> flow.snd_nxt - flow.snd_una) (Vswitch.Flow_table.find t.table key)
+
+let register_flow_probes t ~ts ~prefix ~interval key =
+  let sample f () = Option.map f (Vswitch.Flow_table.find t.table key) in
+  ignore
+    (Obs.Timeseries.probe ts ~name:(prefix ^ ".rwnd") ~unit_label:"bytes" ~interval
+       (sample (fun flow -> float_of_int (enforced_window t flow))));
+  ignore
+    (Obs.Timeseries.probe ts ~name:(prefix ^ ".alpha") ~interval
+       (sample (fun flow -> flow.alpha)));
+  ignore
+    (Obs.Timeseries.probe ts ~name:(prefix ^ ".inflight") ~unit_label:"bytes" ~interval
+       (sample (fun flow -> float_of_int (flow.snd_nxt - flow.snd_una))))
+
 let set_vm_injector t inject = t.vm_inject <- Some inject
 let retransmit_assists t = Obs.Metrics.value t.m_retransmit_assists
 let tracked_flows t = Vswitch.Flow_table.length t.table

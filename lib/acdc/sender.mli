@@ -30,6 +30,23 @@ val flow_window : t -> Dcpkt.Flow_key.t -> int option
     key), in bytes. *)
 
 val flow_alpha : t -> Dcpkt.Flow_key.t -> float option
+
+val flow_inflight : t -> Dcpkt.Flow_key.t -> int option
+(** Unacknowledged bytes ([snd_nxt - snd_una]) of a tracked flow. *)
+
+val register_flow_probes :
+  t ->
+  ts:Obs.Timeseries.t ->
+  prefix:string ->
+  interval:Eventsim.Time_ns.t ->
+  Dcpkt.Flow_key.t ->
+  unit
+(** Sample the enforced window ([<prefix>.rwnd]), DCTCP [<prefix>.alpha]
+    and in-flight bytes ([<prefix>.inflight]) of [key]'s flow every
+    [interval] of virtual time.  Samples are skipped while the flow is not
+    yet (or no longer) tracked, so this can be registered before the first
+    packet. *)
+
 val tracked_flows : t -> int
 val rwnd_rewrites : t -> int
 val policer_drops : t -> int

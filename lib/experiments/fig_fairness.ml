@@ -1,6 +1,5 @@
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
-module Series = Dcstats.Meter.Series
 
 module Fig13 = struct
   type experiment = { betas : float list; tputs : float list }
@@ -86,7 +85,15 @@ module Fig14 = struct
     let config = Harness.host_config scheme net.Fabric.Topology.params in
     let step_ns = Time_ns.sec step in
     let total = Time_ns.ns (10 * step_ns) in
-    let byte_series = Array.init 5 (fun _ -> Series.create ()) in
+    let ts = Harness.new_timeseries net in
+    (* Record cumulative acked bytes (a level, not an increment) so the
+       channel stays a valid byte counter under decimation; binned_rate
+       recovers the per-bin goodput by differencing at the edges. *)
+    let byte_chans =
+      Array.init 5 (fun i ->
+          Obs.Timeseries.channel ts ~unit_label:"bytes"
+            (Printf.sprintf "%s.flow%d.bytes_acked" scheme.Harness.label i))
+    in
     List.iteri
       (fun i () ->
         let start = Time_ns.ns (i * step_ns) in
@@ -97,20 +104,23 @@ module Fig14 = struct
             ~dst:(Fabric.Topology.host net (5 + i))
             ~config ~at:start ()
         in
-        Tcp.Endpoint.set_bytes_hook (Fabric.Conn.client conn) (fun time bytes ->
-            Series.record byte_series.(i) ~time (float_of_int bytes));
+        let client = Fabric.Conn.client conn in
+        Tcp.Endpoint.set_bytes_hook client (fun time _bytes ->
+            Obs.Timeseries.record byte_chans.(i) ~now:time
+              (float_of_int (Tcp.Endpoint.bytes_acked client)));
         Fabric.Conn.send_forever conn;
         Engine.schedule engine ~at:stop_at (fun () -> Fabric.Conn.stop conn))
       (List.init 5 (fun _ -> ()));
     Engine.run ~until:total engine;
     let drop_rate = Fabric.Topology.drop_rate net in
+    Harness.finish_timeseries ts;
     Fabric.Topology.shutdown net;
     {
       scheme = scheme.Harness.label;
       series =
         Array.map
-          (fun s -> Series.windowed_rate s ~bin:(Time_ns.sec bin) ~until:total)
-          byte_series;
+          (fun ch -> Obs.Timeseries.binned_rate ch ~bin:(Time_ns.sec bin) ~until:total)
+          byte_chans;
       drop_rate;
     }
 

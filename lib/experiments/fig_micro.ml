@@ -1,6 +1,5 @@
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
-module Series = Dcstats.Meter.Series
 
 module Fig6 = struct
   type point = { limit_mss : int; cwnd_gbps : float; rwnd_gbps : float }
@@ -233,19 +232,24 @@ let window_trace ~mtu ~host_cc ~host_ecn ~log_only ~duration =
         conn)
   in
   let traced = List.hd conns in
-  let cwnd_series = Series.create () in
+  (* Large budgets: the aligned-stats comparison below wants the raw
+     per-ACK signal, so decimation should stay a safety net, not the
+     common case. *)
+  let ts = Obs.Timeseries.create ~default_budget:65536 engine in
+  let cwnd_ch = Obs.Timeseries.channel ts ~unit_label:"MSS" "flow0.cwnd_mss" in
   Tcp.Endpoint.set_cwnd_hook (Fabric.Conn.client traced) (fun time w ->
-      Series.record cwnd_series ~time (float_of_int w /. mss));
-  let rwnd_series = Series.create () in
+      Obs.Timeseries.record cwnd_ch ~now:time (float_of_int w /. mss));
+  let rwnd_ch = Obs.Timeseries.channel ts ~unit_label:"MSS" "flow0.rwnd_mss" in
   (match Fabric.Host.acdc (Fabric.Topology.host net 0) with
   | Some instance ->
     Acdc.Sender.set_window_hook (Acdc.sender instance) (fun key time w ->
         if Dcpkt.Flow_key.equal key (Fabric.Conn.key traced) then
-          Series.record rwnd_series ~time (float_of_int w /. mss))
+          Obs.Timeseries.record rwnd_ch ~now:time (float_of_int w /. mss))
   | None -> assert false);
   Engine.run ~until:(Time_ns.sec duration) engine;
+  Harness.finish_timeseries ts;
   Fabric.Topology.shutdown net;
-  (Series.to_list cwnd_series, Series.to_list rwnd_series)
+  (Obs.Timeseries.points cwnd_ch, Obs.Timeseries.points rwnd_ch)
 
 (* Resample both series onto a grid and compare. *)
 let aligned_stats cwnd rwnd ~until =

@@ -67,6 +67,31 @@ let measure_goodput (net : Fabric.Topology.t) conns ~warmup ~duration =
     finals !marks
 
 (* ------------------------------------------------------------------ *)
+(* Time-series plumbing                                                *)
+
+let new_timeseries ?default_budget (net : Fabric.Topology.t) =
+  Obs.Timeseries.create ?default_budget net.Fabric.Topology.engine
+
+let finish_timeseries ts =
+  Obs.Timeseries.stop ts;
+  Obs.Runtime.export_timeseries ts
+
+let report_of_run ~id ?scheme ?(config = []) ?goodputs ?timeseries () =
+  let report = Obs.Report.create ~id () in
+  (match scheme with
+  | Some s -> Obs.Report.add_config report "scheme" (Obs.Json.String s.label)
+  | None -> ());
+  List.iter (fun (key, v) -> Obs.Report.add_config report key v) config;
+  (match goodputs with
+  | Some tputs ->
+    Obs.Report.add_int report "flows" (List.length tputs);
+    Obs.Report.add_scalar report "aggregate_goodput_gbps" (List.fold_left ( +. ) 0.0 tputs)
+  | None -> ());
+  Obs.Report.set_metrics report (Obs.Runtime.metrics ());
+  (match timeseries with Some ts -> Obs.Report.embed_timeseries report ts | None -> ());
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Output                                                              *)
 
 let pp_gbps_list fmt values =

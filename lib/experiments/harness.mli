@@ -39,6 +39,32 @@ val measure_goodput :
 (** Run the simulation through [warmup + duration] and return each flow's
     goodput in Gb/s over the measurement window. *)
 
+(** {2 Time-series plumbing}
+
+    Experiments that sample signals over virtual time share one
+    {!Obs.Timeseries.t} per run, bound to the topology's engine. *)
+
+val new_timeseries : ?default_budget:int -> Fabric.Topology.t -> Obs.Timeseries.t
+
+val finish_timeseries : Obs.Timeseries.t -> unit
+(** Stop all probes (so the event queue can drain on the next run) and
+    export CSVs if the ambient {!Obs.Runtime} time-series sink is set.
+    Call once the run is over, before tearing the topology down. *)
+
+val report_of_run :
+  id:string ->
+  ?scheme:scheme ->
+  ?config:(string * Obs.Json.t) list ->
+  ?goodputs:float list ->
+  ?timeseries:Obs.Timeseries.t ->
+  unit ->
+  Obs.Report.t
+(** Assemble a {!Obs.Report} from a finished run: scheme label and extra
+    [config] pairs, flow count plus [aggregate_goodput_gbps] from
+    [goodputs], a snapshot of the ambient metrics registry, and the run's
+    time-series embedded.  Callers add run-specific scalars and percentile
+    summaries on the result before writing it. *)
+
 (** {2 Output helpers} *)
 
 val pp_gbps_list : Format.formatter -> float list -> unit

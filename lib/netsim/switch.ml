@@ -183,6 +183,20 @@ let drop_rate t =
 
 let name t = t.name
 
+let register_probes t ~ts ?(interval = 100_000) () =
+  for i = 0 to t.nports - 1 do
+    let port = t.ports.(i) in
+    ignore
+      (Obs.Timeseries.probe ts
+         ~name:(Printf.sprintf "switch.%s.port%d.qbytes" t.name i)
+         ~unit_label:"bytes" ~interval (fun () ->
+           Some (float_of_int (Txq.queued_bytes port.txq))))
+  done;
+  ignore
+    (Obs.Timeseries.probe ts
+       ~name:(Printf.sprintf "switch.%s.buffer_used" t.name)
+       ~unit_label:"bytes" ~interval (fun () -> Some (float_of_int t.buffer_used)))
+
 let reset_counters t =
   Metrics.reset t.m_input;
   Metrics.reset t.m_forwarded_packets;

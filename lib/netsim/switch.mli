@@ -82,3 +82,10 @@ val drop_rate : t -> float
 
 val name : t -> string
 val reset_counters : t -> unit
+
+val register_probes : t -> ts:Obs.Timeseries.t -> ?interval:Eventsim.Time_ns.t -> unit -> unit
+(** Register fixed-interval samplers (default every 100 µs of virtual
+    time) for every current port's queue depth
+    ([switch.<name>.port<i>.qbytes]) and the shared buffer occupancy
+    ([switch.<name>.buffer_used]).  Ports added later are not sampled;
+    call after the topology is wired.  Stop via {!Obs.Timeseries.stop}. *)

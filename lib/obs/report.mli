@@ -1,0 +1,46 @@
+(** Structured run reports: one JSON artifact per run bundling the run
+    configuration, final metric snapshot, percentile summaries and
+    (embedded or referenced) time-series — the machine-readable record a
+    regression gate ({!Diff}, [bin/report_diff.exe]) can compare across
+    commits.
+
+    Everything in a report is deterministic for a seeded run unless the
+    caller explicitly adds wall-clock quantities (e.g. [wall_s]). *)
+
+type t
+
+val create : ?schema:string -> id:string -> unit -> t
+(** [schema] defaults to ["acdc-report/1"]. *)
+
+val add_config : t -> string -> Json.t -> unit
+(** Run parameters (topology, durations, scheme, seed...). *)
+
+val add_scalar : t -> string -> float -> unit
+val add_int : t -> string -> int -> unit
+(** Headline numbers (aggregate goodput, drop counts, wall time...). *)
+
+val add_samples : t -> name:string -> ?unit_label:string -> Dcstats.Samples.t -> unit
+(** p50/p95/p99/p99.9 (plus count, mean, min, max) of an exact sample set. *)
+
+val add_histogram : t -> name:string -> ?unit_label:string -> Dcstats.Histogram.t -> unit
+(** Same percentile summary from a log-spaced histogram (bucket-resolution
+    quantiles; includes underflow/overflow counts). *)
+
+val set_metrics : t -> Metrics.t -> unit
+(** Snapshot the registry now (counters summed, gauges maxed). *)
+
+val embed_timeseries : t -> Timeseries.t -> unit
+(** Inline every channel's points into the report. *)
+
+val reference_timeseries : t -> dir:string -> Timeseries.t -> unit
+(** Record the CSV file names {!Timeseries.write_csv_dir} produces in
+    [dir] instead of inlining points (for long runs).  Does not write the
+    files — pair with [write_csv_dir]. *)
+
+val to_json : t -> Json.t
+(** Sections in fixed order: schema, id, config, scalars, percentiles,
+    metrics, timeseries — deterministic for deterministic inputs. *)
+
+val write : t -> path:string -> unit
+(** Pretty-printed JSON to [path].  Raises [Sys_error] on unwritable
+    paths. *)

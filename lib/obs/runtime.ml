@@ -26,3 +26,16 @@ let trace_to_file path =
   the_tracer := Trace.jsonl_channel oc
 
 let reset_metrics () = Metrics.reset_all the_metrics
+
+let timeseries_sink = ref None
+
+let set_timeseries_sink ~dir = timeseries_sink := Some dir
+
+let clear_timeseries_sink () = timeseries_sink := None
+
+let timeseries_dir () = !timeseries_sink
+
+let export_timeseries ts =
+  match !timeseries_sink with
+  | None -> ()
+  | Some dir -> Timeseries.write_csv_dir ts ~dir

@@ -31,3 +31,19 @@ val close_trace : unit -> unit
     {!Trace.null}.  No-op otherwise. *)
 
 val reset_metrics : unit -> unit
+
+(** {2 Time-series export sink}
+
+    Like the tracer, the time-series sink is ambient: a driver that wants
+    CSV dumps sets a directory before running ([acdc_expt --timeseries DIR]
+    does), and instrumented experiments hand their {!Timeseries.t} to
+    {!export_timeseries} when the run ends — a no-op unless a sink is
+    configured, so experiments always call it unconditionally. *)
+
+val set_timeseries_sink : dir:string -> unit
+val clear_timeseries_sink : unit -> unit
+val timeseries_dir : unit -> string option
+
+val export_timeseries : Timeseries.t -> unit
+(** {!Timeseries.write_csv_dir} into the configured sink directory, or a
+    no-op when none is set. *)

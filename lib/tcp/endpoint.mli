@@ -108,6 +108,18 @@ val retransmissions : t -> int
 val timeouts : t -> int
 val cc_name : t -> string
 
+val srtt : t -> Eventsim.Time_ns.t option
+(** Smoothed RTT from the RFC 6298 estimator, once a sample arrived. *)
+
+val rto : t -> Eventsim.Time_ns.t
+(** Current retransmission timeout, including backoff. *)
+
+val register_probes :
+  t -> ts:Obs.Timeseries.t -> prefix:string -> interval:Eventsim.Time_ns.t -> unit
+(** Sample this endpoint's SRTT ([<prefix>.srtt_us], skipped until the
+    first RTT sample), RTO ([<prefix>.rto_us]) and congestion window
+    ([<prefix>.cwnd]) every [interval] of virtual time. *)
+
 val set_rtt_hook : t -> (Eventsim.Time_ns.t -> unit) -> unit
 (** Called with every clean RTT sample the sender takes. *)
 

@@ -152,7 +152,84 @@ let test_json_escaping () =
   check_string "escapes" {|{"k":"a\"b\\c\n\u0001"}|}
     (Json.to_string (Json.Obj [ ("k", Json.String "a\"b\\c\n\x01") ]));
   check_string "non-finite floats are null" {|[null,null,1.5]|}
-    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ]))
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ]));
+  (* Valid UTF-8 passes through untouched; every C0 control gets escaped. *)
+  check_string "multibyte UTF-8 passes through"
+    "\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80\""
+    (Json.to_string (Json.String "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80"));
+  check_string "all C0 controls escaped" {|"\u0000\u0008\t\u001f"|}
+    (Json.to_string (Json.String "\x00\x08\x09\x1f"));
+  (* Invalid bytes (lone high bytes, truncated or overlong sequences)
+     become U+FFFD instead of corrupting the output document. *)
+  check_string "invalid byte replaced" "\"a\xef\xbf\xbdb\""
+    (Json.to_string (Json.String "a\xffb"));
+  check_string "truncated sequence replaced" "\"\xef\xbf\xbd\""
+    (Json.to_string (Json.String "\xc3"));
+  check_string "overlong encoding replaced" "\"\xef\xbf\xbd\xef\xbf\xbd\""
+    (Json.to_string (Json.String "\xc0\xaf"));
+  check_string "surrogate codepoint replaced" "\"\xef\xbf\xbd\xef\xbf\xbd\xef\xbf\xbd\""
+    (Json.to_string (Json.String "\xed\xa0\x80"))
+
+let parse_ok s =
+  match Json.of_string s with Ok j -> j | Error msg -> Alcotest.fail (s ^ ": " ^ msg)
+
+let test_json_parser () =
+  (* print . parse is the identity on printed documents. *)
+  let docs =
+    [
+      {|{"a":1,"b":[true,false,null,"x"],"c":{"nested":-2.5}}|};
+      {|[]|};
+      {|{}|};
+      {|"café"|};
+      {|-0.125|};
+      {|[1e3,0.001,12345678901234]|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let reprinted = Json.to_string (parse_ok s) in
+      check_string "round-trip is stable" reprinted (Json.to_string (parse_ok reprinted)))
+    docs;
+  (* Escape decoding, including a surrogate pair (U+1F600). *)
+  (match parse_ok {|"\u0041\u00e9\ud83d\ude00\n"|} with
+  | Json.String s -> check_string "unicode escapes decode" "A\xc3\xa9\xf0\x9f\x98\x80\n" s
+  | _ -> Alcotest.fail "expected a string");
+  (* Escaping then parsing recovers the original valid-UTF-8 string,
+     control characters included. *)
+  let original = "mixed: caf\xc3\xa9 \xf0\x9f\x98\x80 \x00\x01\x1f \"quoted\\\"" in
+  (match parse_ok (Json.to_string (Json.String original)) with
+  | Json.String s -> check_string "escape/parse round-trip" original s
+  | _ -> Alcotest.fail "expected a string");
+  (match parse_ok {|{"k":  [1, 2 ,3]  }|} with
+  | Json.Obj [ ("k", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]) ] -> ()
+  | _ -> Alcotest.fail "whitespace handling");
+  check_string "member finds fields" "v"
+    (match Json.member "key" (parse_ok {|{"other":1,"key":"v"}|}) with
+    | Some (Json.String s) -> s
+    | _ -> "MISSING");
+  (* Strictness: these must all be rejected. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Result.is_error (Json.of_string s)))
+    [
+      "";
+      "{";
+      "[1,]";
+      {|{"a":1,}|};
+      {|{"a" 1}|};
+      "1 2";
+      "+1";
+      "1.";
+      "nul";
+      {|"unterminated|};
+      "\"ctrl\x01\"";
+      {|"\q"|};
+      {|"\ud83d"|};
+      {|"\udc00x"|};
+    ]
 
 let () =
   Alcotest.run "obs"
@@ -171,5 +248,9 @@ let () =
           Alcotest.test_case "null + tee" `Quick test_null_and_tee;
           Alcotest.test_case "jsonl determinism" `Quick test_jsonl_determinism;
         ] );
-      ("json", [ Alcotest.test_case "escaping" `Quick test_json_escaping ]);
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "parser" `Quick test_json_parser;
+        ] );
     ]
