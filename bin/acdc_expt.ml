@@ -86,7 +86,59 @@ let timeseries_arg =
   in
   Arg.(value & opt (some string) None & info [ "timeseries" ] ~docv:"DIR" ~doc)
 
-let main verbose list trace metrics_out report timeseries ids =
+let impair_arg =
+  let doc =
+    "Impair every link of every topology with $(docv), a comma-separated spec like \
+     'loss=0.01,reorder=0.05,reorder_delay_us=50' (keys: loss, dup, corrupt, strip_pack, \
+     reorder, reorder_delay_us/_ns, jitter_us/_ns).  Applies to experiment ids; fuzz \
+     scenarios sample their own impairments."
+  in
+  Arg.(value & opt (some string) None & info [ "impair" ] ~docv:"SPEC" ~doc)
+
+let fuzz_arg =
+  let doc =
+    "Run $(docv) randomized invariant-checking scenarios instead of experiments; exits \
+     nonzero and prints a replayable seed per violation."
+  in
+  Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Root seed for --fuzz scenarios and --impair randomness." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* Fuzz mode: scenarios [seed, seed+n), one line each, report optional;
+   the exit code is the number of violated invariants (capped by the
+   shell's 8 bits, but zero means zero). *)
+let run_fuzz ~count ~seed ~report =
+  Format.printf "fuzzing %d scenario(s) from seed %d@." count seed;
+  let outcomes = Experiments.Fuzz_harness.run ~count ~seed in
+  List.iter Experiments.Fuzz_harness.print_outcome outcomes;
+  let violations =
+    List.fold_left
+      (fun acc o -> acc + List.length o.Experiments.Fuzz_harness.violations)
+      0 outcomes
+  in
+  Option.iter
+    (fun path ->
+      Obs.Report.write (Experiments.Fuzz_harness.report_of_outcomes outcomes) ~path;
+      Format.printf "  [report written to %s]@." path)
+    report;
+  if violations = 0 then Format.printf "all invariants held@."
+  else begin
+    let failing =
+      List.filter (fun o -> o.Experiments.Fuzz_harness.violations <> []) outcomes
+    in
+    Format.printf "%d invariant violation(s) across %d scenario(s); replay with:@."
+      violations (List.length failing);
+    List.iter
+      (fun o ->
+        Format.printf "  acdc_expt --fuzz 1 --seed %d@."
+          o.Experiments.Fuzz_harness.scenario.Experiments.Fuzz_harness.seed)
+      failing
+  end;
+  violations
+
+let main verbose list trace metrics_out report timeseries impair fuzz seed ids =
   setup_logs verbose;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
@@ -112,6 +164,25 @@ let main verbose list trace metrics_out report timeseries ids =
    with Sys_error msg ->
      Format.eprintf "cannot open timeseries directory: %s@." msg;
      exit 1);
+  (match impair with
+  | None -> ()
+  | Some spec -> (
+    match Netsim.Impair.config_of_string spec with
+    | Ok config -> Netsim.Impair.set_default ~config ~seed
+    | Error msg ->
+      Format.eprintf "bad --impair spec: %s@." msg;
+      exit 1));
+  match fuzz with
+  | Some count ->
+    if count <= 0 then begin
+      Format.eprintf "--fuzz expects a positive count@.";
+      exit 1
+    end;
+    let violations = run_fuzz ~count ~seed ~report in
+    Obs.Runtime.clear_timeseries_sink ();
+    Obs.Runtime.close_trace ();
+    if violations > 0 then exit 1
+  | None ->
   if list || ids = [] then list_experiments ()
   else begin
     let ids = if ids = [ "all" ] then Experiments.Registry.ids else ids in
@@ -139,6 +210,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ verbose_arg $ list_arg $ trace_arg $ metrics_arg $ report_arg
-      $ timeseries_arg $ ids_arg)
+      $ timeseries_arg $ impair_arg $ fuzz_arg $ seed_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

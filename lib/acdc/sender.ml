@@ -120,8 +120,12 @@ let cc_view t flow =
 (* Scale a byte window into the 16-bit field, rounding up: flooring would
    silently shave up to [2^wscale - 1] bytes off every enforced window and
    break the Fig. 6 CWND/RWND equivalence at small clamps. *)
+(* The field is 16 bits on the wire: a large enforced window with a small
+   negotiated shift must saturate, not overflow — an unclamped value here
+   would advertise a garbage (mod-2^16) window in injected ACKs. *)
 let window_field flow window =
-  Stdlib.max 1 ((window + (1 lsl flow.peer_wscale) - 1) lsr flow.peer_wscale)
+  Stdlib.min 0xFFFF
+    (Stdlib.max 1 ((window + (1 lsl flow.peer_wscale) - 1) lsr flow.peer_wscale))
 
 (* ------------------------------------------------------------------ *)
 (* Timeout inference: a lazily re-armed inactivity timer per flow.     *)
@@ -493,6 +497,28 @@ let flow_alpha t key =
 
 let flow_inflight t key =
   Option.map (fun flow -> flow.snd_nxt - flow.snd_una) (Vswitch.Flow_table.find t.table key)
+
+type flow_state = {
+  fs_key : Flow_key.t;
+  fs_snd_una : int;
+  fs_snd_nxt : int;
+  fs_enforced_window : int;
+  fs_rwnd_field : int;
+  fs_peer_wscale : int;
+}
+
+let iter_flow_states t ~f =
+  Vswitch.Flow_table.iter t.table ~f:(fun key flow ->
+      let window = enforced_window t flow in
+      f
+        {
+          fs_key = key;
+          fs_snd_una = flow.snd_una;
+          fs_snd_nxt = flow.snd_nxt;
+          fs_enforced_window = window;
+          fs_rwnd_field = window_field flow window;
+          fs_peer_wscale = flow.peer_wscale;
+        })
 
 let register_flow_probes t ~ts ~prefix ~interval key =
   let sample f () = Option.map f (Vswitch.Flow_table.find t.table key) in

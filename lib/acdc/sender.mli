@@ -34,6 +34,20 @@ val flow_alpha : t -> Dcpkt.Flow_key.t -> float option
 val flow_inflight : t -> Dcpkt.Flow_key.t -> int option
 (** Unacknowledged bytes ([snd_nxt - snd_una]) of a tracked flow. *)
 
+(** A consistency snapshot of one tracked flow, for invariant checkers:
+    the connection-tracking cursors (§3.1), the enforced window, the
+    16-bit field it scales into, and the negotiated shift. *)
+type flow_state = {
+  fs_key : Dcpkt.Flow_key.t;
+  fs_snd_una : int;
+  fs_snd_nxt : int;
+  fs_enforced_window : int;
+  fs_rwnd_field : int;
+  fs_peer_wscale : int;
+}
+
+val iter_flow_states : t -> f:(flow_state -> unit) -> unit
+
 val register_flow_probes :
   t ->
   ts:Obs.Timeseries.t ->

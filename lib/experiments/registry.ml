@@ -108,6 +108,15 @@ let all =
       run = (fun () -> Fig_multipath.Ecmp.(print (run ())));
     };
     {
+      id = "ext-adversarial";
+      title = "RWND-ignoring stack is policed, honest flows unharmed (extension)";
+      run =
+        (fun () ->
+          Harness.print_header "ext-adversarial"
+            "a cheating stack under AC/DC policing (3.3)";
+          Fuzz_harness.(print_adversarial (adversarial ())));
+    };
+    {
       id = "fig23";
       title = "web-search / data-mining mice FCTs";
       run = (fun () -> Fig_macro.Traces.(print (run ())));

@@ -9,6 +9,8 @@ type t = {
   mark_threshold : int option;
   nic_rate_bps : int option;
   link_jitter : Time_ns.t;
+  impairment : Netsim.Impair.config option;
+  impair_seed : int;
 }
 
 let default =
@@ -21,6 +23,8 @@ let default =
     mark_threshold = None;
     nic_rate_bps = None;
     link_jitter = Time_ns.ns 200;
+    impairment = None;
+    impair_seed = 0;
   }
 
 let mss t = t.mtu - 40
@@ -28,6 +32,8 @@ let mss t = t.mtu - 40
 let with_mtu t mtu = { t with mtu }
 
 let with_ecn t = { t with mark_threshold = Some 100_000 }
+
+let with_impairment t ?(seed = 1) config = { t with impairment = Some config; impair_seed = seed }
 
 let ecn_config t =
   Option.map

@@ -16,6 +16,12 @@ type t = {
   link_jitter : Eventsim.Time_ns.t;
       (** Per-delivery uniform timing noise; keeps a deterministic
           simulation from phase-locking queues (default 200 ns). *)
+  impairment : Netsim.Impair.config option;
+      (** Apply this fault-injection config to every link of the topology
+          ([None]: fall back to the ambient {!Netsim.Impair.default}, which
+          is how [acdc_expt --impair] reaches experiments that never heard
+          of impairments). *)
+  impair_seed : int;  (** root seed for the per-link impairment streams *)
 }
 
 val default : t
@@ -26,6 +32,10 @@ val with_mtu : t -> int -> t
 val with_ecn : t -> t
 (** Enable WRED/ECN at the conventional DCTCP threshold (~100 KB at
     10 Gb/s). *)
+
+val with_impairment : t -> ?seed:int -> Netsim.Impair.config -> t
+(** Impair every link with [config], deterministically from [seed]
+    (default 1). *)
 
 val ecn_config : t -> Netsim.Switch.ecn_config option
 

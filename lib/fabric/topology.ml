@@ -27,35 +27,68 @@ let jitter_for params rng =
     Some (Eventsim.Rng.split rng, params.Params.link_jitter)
   else None
 
-let attach engine params rng switch host =
+(* Which impairment applies to this topology's links: the explicit params
+   field wins; a topology that says nothing inherits the ambient default a
+   driver may have installed ([acdc_expt --impair] does, which is how any
+   experiment becomes runnable over an adversarial fabric unchanged). *)
+let impairment_for params =
+  match params.Params.impairment with
+  | Some config ->
+    if Netsim.Impair.is_clean config then None
+    else Some (config, Eventsim.Rng.create ~seed:params.Params.impair_seed)
+  | None -> Netsim.Impair.default ()
+
+(* Wrap a link's delivery in the topology impairment, one RNG split per
+   link so link count and creation order don't perturb each other. *)
+let impaired imp engine ~name deliver =
+  match imp with
+  | None -> deliver
+  | Some (config, rng) ->
+    Netsim.Impair.wrap engine ~name ~rng:(Eventsim.Rng.split rng) ~config deliver
+
+let attach engine params rng imp switch host =
   let rate_bps = params.Params.link_rate_bps and prop_delay = params.Params.link_delay in
   let nic_rate = Option.value params.Params.nic_rate_bps ~default:rate_bps in
+  let ip = Host.ip host in
   let nic =
     Netsim.Txq.create engine
-      ~node:(Printf.sprintf "host%d.nic" (Host.ip host))
+      ~node:(Printf.sprintf "host%d.nic" ip)
       ~rate_bps:nic_rate ~prop_delay ~jitter:(jitter_for params rng)
-      ~deliver:(fun pkt -> Netsim.Switch.input switch pkt)
+      ~deliver:
+        (impaired imp engine
+           ~name:(Printf.sprintf "host%d.up" ip)
+           (fun pkt -> Netsim.Switch.input switch pkt))
   in
   Host.set_nic host (Netsim.Txq.enqueue nic);
   let port =
     Netsim.Switch.add_port switch ~rate_bps ~prop_delay ?jitter:(jitter_for params rng)
-      ~deliver:(fun pkt -> Host.deliver host pkt)
+      ~deliver:
+        (impaired imp engine
+           ~name:(Printf.sprintf "host%d.down" ip)
+           (fun pkt -> Host.deliver host pkt))
       ()
   in
-  Netsim.Switch.add_route switch ~dst_ip:(Host.ip host) ~port
+  Netsim.Switch.add_route switch ~dst_ip:ip ~port
 
 (* Connect two switches with a trunk in each direction; returns the port
    ids [(on_a, on_b)] for route installation. *)
-let trunk params rng sw_a sw_b =
+let trunk engine params rng imp sw_a sw_b =
   let rate_bps = params.Params.link_rate_bps and prop_delay = params.Params.link_delay in
+  let name_a = Netsim.Switch.name sw_a and name_b = Netsim.Switch.name sw_b in
   let port_a =
     Netsim.Switch.add_port sw_a ~rate_bps ~prop_delay ?jitter:(jitter_for params rng)
-      ~deliver:(fun pkt -> Netsim.Switch.input sw_b pkt)
+      ~deliver:
+        (impaired imp engine
+           ~name:(Printf.sprintf "trunk.%s-%s" name_a name_b)
+           (fun pkt -> Netsim.Switch.input sw_b pkt))
       ()
   in
   let port_b =
     Netsim.Switch.add_port sw_b ~rate_bps ~prop_delay ?jitter:(jitter_for params rng)
-      ~deliver:(fun pkt -> Netsim.Switch.input sw_a pkt)
+      ~deliver:
+        (impaired imp engine
+           ~name:(Printf.sprintf "trunk.%s-%s" name_b name_a)
+           (fun pkt -> Netsim.Switch.input sw_a pkt))
       ()
   in
   (port_a, port_b)
@@ -63,14 +96,15 @@ let trunk params rng sw_a sw_b =
 let dumbbell engine ?(params = Params.default) ?(acdc = no_acdc) ~pairs () =
   assert (pairs > 0);
   let rng = Eventsim.Rng.create ~seed:42 in
+  let imp = impairment_for params in
   let left = make_switch engine params ~name:"left"
   and right = make_switch engine params ~name:"right" in
   let hosts = Array.init (2 * pairs) (make_host engine acdc) in
   for i = 0 to pairs - 1 do
-    attach engine params rng left hosts.(i);
-    attach engine params rng right hosts.(pairs + i)
+    attach engine params rng imp left hosts.(i);
+    attach engine params rng imp right hosts.(pairs + i)
   done;
-  let to_right, to_left = trunk params rng left right in
+  let to_right, to_left = trunk engine params rng imp left right in
   for i = 0 to pairs - 1 do
     Netsim.Switch.add_route left ~dst_ip:(pairs + i) ~port:to_right;
     Netsim.Switch.add_route right ~dst_ip:i ~port:to_left
@@ -80,27 +114,29 @@ let dumbbell engine ?(params = Params.default) ?(acdc = no_acdc) ~pairs () =
 let star engine ?(params = Params.default) ?(acdc = no_acdc) ~hosts:n () =
   assert (n > 0);
   let rng = Eventsim.Rng.create ~seed:43 in
+  let imp = impairment_for params in
   let switch = make_switch engine params ~name:"sw0" in
   let hosts = Array.init n (make_host engine acdc) in
-  Array.iter (fun host -> attach engine params rng switch host) hosts;
+  Array.iter (fun host -> attach engine params rng imp switch host) hosts;
   { engine; params; switches = [| switch |]; hosts }
 
 let parking_lot engine ?(params = Params.default) ?(acdc = no_acdc) ~senders () =
   assert (senders > 1);
   let rng = Eventsim.Rng.create ~seed:44 in
+  let imp = impairment_for params in
   let switches =
     Array.init senders (fun i -> make_switch engine params ~name:(Printf.sprintf "sw%d" i))
   in
   let hosts = Array.init (senders + 1) (make_host engine acdc) in
   for i = 0 to senders - 1 do
-    attach engine params rng switches.(i) hosts.(i)
+    attach engine params rng imp switches.(i) hosts.(i)
   done;
   let receiver = hosts.(senders) in
-  attach engine params rng switches.(senders - 1) receiver;
+  attach engine params rng imp switches.(senders - 1) receiver;
   (* Chain the switches left to right and install routes: the receiver
      lives rightward of everyone; sender i lives leftward of switches > i. *)
   for i = 0 to senders - 2 do
-    let to_right, to_left = trunk params rng switches.(i) switches.(i + 1) in
+    let to_right, to_left = trunk engine params rng imp switches.(i) switches.(i + 1) in
     (* Everything to the right of switch i (receiver + higher senders). *)
     Netsim.Switch.add_route switches.(i) ~dst_ip:senders ~port:to_right;
     for h = i + 1 to senders - 1 do
@@ -117,6 +153,7 @@ let leaf_spine engine ?(params = Params.default) ?(acdc = no_acdc) ~leaves ~spin
     ~hosts_per_leaf () =
   assert (leaves > 0 && spines > 0 && hosts_per_leaf > 0);
   let rng = Eventsim.Rng.create ~seed:45 in
+  let imp = impairment_for params in
   let leaf_sw =
     Array.init leaves (fun i -> make_switch engine params ~name:(Printf.sprintf "leaf%d" i))
   in
@@ -125,14 +162,14 @@ let leaf_spine engine ?(params = Params.default) ?(acdc = no_acdc) ~leaves ~spin
   in
   let hosts = Array.init (leaves * hosts_per_leaf) (make_host engine acdc) in
   Array.iteri
-    (fun idx host -> attach engine params rng leaf_sw.(idx / hosts_per_leaf) host)
+    (fun idx host -> attach engine params rng imp leaf_sw.(idx / hosts_per_leaf) host)
     hosts;
   (* Full leaf-spine mesh; remember each side's port numbers. *)
   let up = Array.make_matrix leaves spines 0 in
   let down = Array.make_matrix spines leaves 0 in
   for l = 0 to leaves - 1 do
     for s = 0 to spines - 1 do
-      let to_spine, to_leaf = trunk params rng leaf_sw.(l) spine_sw.(s) in
+      let to_spine, to_leaf = trunk engine params rng imp leaf_sw.(l) spine_sw.(s) in
       up.(l).(s) <- to_spine;
       down.(s).(l) <- to_leaf
     done

@@ -67,7 +67,9 @@ let add_port t ~rate_bps ~prop_delay ?jitter ~deliver () =
       ~deliver
   in
   let port = { txq; drops = 0; max_queue = 0 } in
-  Txq.set_on_tx_complete txq (fun pkt -> t.buffer_used <- t.buffer_used - Packet.wire_size pkt);
+  (* Free exactly what admission charged: the enqueue-time size travels
+     with the packet, so a mutation while queued cannot leak buffer. *)
+  Txq.set_on_tx_complete txq (fun _pkt ~size -> t.buffer_used <- t.buffer_used - size);
   let capacity = Array.length t.ports in
   if idx >= capacity then begin
     (* Double the capacity; the new slots are filled with [port] and the
@@ -161,7 +163,7 @@ let input t pkt =
         Metrics.set_max t.g_buffer_max t.buffer_used;
         Metrics.incr t.m_forwarded_packets;
         Metrics.add t.m_forwarded_bytes size;
-        Txq.enqueue port.txq pkt;
+        Txq.enqueue ~size port.txq pkt;
         let q = Txq.queued_bytes port.txq in
         if q > port.max_queue then port.max_queue <- q
       end

@@ -8,13 +8,15 @@ type t = {
   prop_delay : Time_ns.t;
   jitter : (Eventsim.Rng.t * Time_ns.t) option;
   deliver : Packet.t -> unit;
-  queue : Packet.t Queue.t;
+  (* Each entry carries its enqueue-time wire size: packets are mutable and
+     an option rewrite while queued must not unbalance the byte books. *)
+  queue : (Packet.t * int) Queue.t;
   tracer : Obs.Trace.t;
   node : string;
   port : int;
   mutable queued_bytes : int;
   mutable busy : bool;
-  mutable on_tx_complete : Packet.t -> unit;
+  mutable on_tx_complete : Packet.t -> size:int -> unit;
 }
 
 let create ?tracer ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jitter ~deliver =
@@ -31,7 +33,7 @@ let create ?tracer ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jit
     port;
     queued_bytes = 0;
     busy = false;
-    on_tx_complete = ignore;
+    on_tx_complete = (fun _ ~size:_ -> ());
   }
 
 let set_on_tx_complete t f = t.on_tx_complete <- f
@@ -46,9 +48,8 @@ let tx_time t ~bytes = bytes * 8 * 1_000_000_000 / t.rate_bps
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
-  | Some pkt ->
+  | Some (pkt, size) ->
     t.busy <- true;
-    let size = Packet.wire_size pkt in
     let finish () =
       t.queued_bytes <- t.queued_bytes - size;
       if Obs.Trace.enabled t.tracer then
@@ -61,7 +62,7 @@ let rec start_next t =
                size;
                qbytes = t.queued_bytes;
              });
-      t.on_tx_complete pkt;
+      t.on_tx_complete pkt ~size;
       let delay =
         match t.jitter with
         | Some (rng, j) when j > 0 -> Time_ns.add t.prop_delay (Eventsim.Rng.int rng j)
@@ -72,17 +73,12 @@ let rec start_next t =
     in
     Engine.schedule_after t.engine ~delay:(tx_time t ~bytes:size) finish
 
-let enqueue t pkt =
-  t.queued_bytes <- t.queued_bytes + Packet.wire_size pkt;
+let enqueue ?size t pkt =
+  let size = match size with Some s -> s | None -> Packet.wire_size pkt in
+  t.queued_bytes <- t.queued_bytes + size;
   if Obs.Trace.enabled t.tracer then
     Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
       (Obs.Trace.Enqueue
-         {
-           node = t.node;
-           port = t.port;
-           pkt = pkt.Packet.id;
-           size = Packet.wire_size pkt;
-           qbytes = t.queued_bytes;
-         });
-  Queue.add pkt t.queue;
+         { node = t.node; port = t.port; pkt = pkt.Packet.id; size; qbytes = t.queued_bytes });
+  Queue.add (pkt, size) t.queue;
   if not t.busy then start_next t

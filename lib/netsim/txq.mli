@@ -25,10 +25,17 @@ val create :
     receives an [Enqueue] event per admitted packet and a [Dequeue] event
     when a packet finishes serializing, labelled [node]:[port]. *)
 
-val enqueue : t -> Dcpkt.Packet.t -> unit
+val enqueue : ?size:int -> t -> Dcpkt.Packet.t -> unit
+(** [size] (default: the packet's current {!Dcpkt.Packet.wire_size}) is the
+    byte count this packet occupies for the queue's entire accounting —
+    byte counters and the [on_tx_complete] callback see this exact value
+    even if an option rewrite changes the packet's size while it waits.
+    Admission control that charged a shared buffer must pass the charged
+    size here so the books provably re-balance. *)
 
-val set_on_tx_complete : t -> (Dcpkt.Packet.t -> unit) -> unit
-(** Invoked when a packet finishes serializing (its buffer is freed). *)
+val set_on_tx_complete : t -> (Dcpkt.Packet.t -> size:int -> unit) -> unit
+(** Invoked when a packet finishes serializing (its buffer is freed);
+    [size] is the enqueue-time size the packet was charged at. *)
 
 val queued_bytes : t -> int
 (** Wire bytes currently held, including the packet being transmitted. *)

@@ -51,6 +51,13 @@ let make ~key ?(seq = 0) ?(ack = 0) ?(syn = false) ?(fin = false) ?(rst = false)
     sent_at = Eventsim.Time_ns.zero;
   }
 
+(* A wire duplicate is a distinct frame: it gets its own id (for tracing)
+   and its own mutable fields, so a vSwitch rewriting one copy cannot
+   corrupt the other. *)
+let copy t =
+  incr next_id;
+  { t with id = !next_id }
+
 let option_bytes = function
   | Mss _ -> 4
   | Window_scale _ -> 3

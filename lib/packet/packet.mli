@@ -59,6 +59,12 @@ val make :
   unit ->
   t
 
+val copy : t -> t
+(** A field-for-field copy with a fresh [id] — the model of a duplicated
+    wire frame.  Because fields are mutable and the same packet value flows
+    through the whole pipeline, fault-injection layers must deliver a
+    [copy] rather than aliasing the original. *)
+
 val header_bytes : t -> int
 (** Ethernet + IP + TCP header bytes including options. *)
 

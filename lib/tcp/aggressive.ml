@@ -1,0 +1,21 @@
+(* A deliberately non-conforming "congestion control": grow the window by
+   the full acked amount on every ACK (permanent slow start) and never
+   decrease — not for ECN, not for dup-ACKs.  Only the endpoint's own RTO
+   handling still resets cwnd, as even a hostile stack loses its ACK clock
+   on timeout.
+
+   This is the tenant stack AC/DC's §3.3 policing exists for.  It is
+   intentionally NOT in [Cc_registry]: the registry enumerates algorithms
+   the paper evaluates (Table 1 iterates it), and this one is an attack
+   fixture, reachable only through [Endpoint.misbehaving] or an explicit
+   [cc = Aggressive.factory]. *)
+
+let make () =
+  let on_ack view ~acked ~rtt:_ ~ce_marked:_ =
+    view.Cc.set_cwnd (Cc.clamp_cwnd view (view.Cc.get_cwnd () + acked))
+  in
+  let on_congestion (_ : Cc.view) (_ : Cc.congestion) = () in
+  let on_rto (_ : Cc.view) = () in
+  { Cc.name = "aggressive"; per_ack_ecn = false; on_ack; on_congestion; on_rto }
+
+let factory = make

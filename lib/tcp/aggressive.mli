@@ -1,0 +1,7 @@
+(** A non-conforming congestion control for adversarial testing: additive
+    growth on every ACK, no decrease on ECN or loss.  Deliberately absent
+    from {!Cc_registry} — use {!Endpoint.misbehaving} (or set it as a
+    config's [cc]) to model the misbehaving tenant stacks AC/DC's §3.3
+    policing defends against. *)
+
+val factory : Cc.factory

@@ -42,6 +42,10 @@ let default_config =
 
 let config_for_mtu config ~mtu = { config with mss = mtu - 40 }
 
+(* The adversarial tenant of §3.3: disregards the receive window AC/DC
+   enforces and grows its congestion window without restraint. *)
+let misbehaving config = { config with cc = Aggressive.factory; ignore_rwnd = true }
+
 type message = { end_seq : int; submitted : Time_ns.t; on_complete : Time_ns.t -> unit }
 
 type t = {
@@ -244,9 +248,27 @@ let rec arm_rto t =
     t.rto_timer <- Some (Engine.timer_after t.engine ~delay (fun () -> handle_rto t))
   end
 
+and syn_packet t =
+  Packet.make ~key:t.key ~seq:0 ~syn:true
+    ~rwnd_field:(Stdlib.min 0xFFFF t.config.rcv_buf)
+    ~options:[ Packet.Mss t.config.mss; Packet.Window_scale t.config.wscale ]
+    ~payload:0 ()
+
 and handle_rto t =
   t.rto_timer <- None;
-  if t.snd_una < t.snd_nxt && t.state <> Closed then begin
+  if t.state = Syn_sent then begin
+    (* A lost SYN has no ACK clock to recover it: only the timer can.  The
+       general branch below would reset [snd_nxt] to [snd_una] and then
+       find nothing to send (no app data before establishment), silently
+       deadlocking the handshake. *)
+    t.timeouts <- t.timeouts + 1;
+    t.retransmissions <- t.retransmissions + 1;
+    t.rtt_seq <- -1 (* Karn: never time a retransmitted SYN *);
+    Rto.backoff t.rto;
+    emit t (syn_packet t);
+    arm_rto t
+  end
+  else if t.snd_una < t.snd_nxt && t.state <> Closed then begin
     t.timeouts <- t.timeouts + 1;
     if Obs.Trace.enabled t.tracer then
       Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
@@ -590,12 +612,7 @@ let handle_ack t (pkt : Packet.t) =
 let connect t =
   assert t.is_client;
   t.state <- Syn_sent;
-  let pkt =
-    Packet.make ~key:t.key ~seq:0 ~syn:true
-      ~rwnd_field:(Stdlib.min 0xFFFF t.config.rcv_buf)
-      ~options:[ Packet.Mss t.config.mss; Packet.Window_scale t.config.wscale ]
-      ~payload:0 ()
-  in
+  let pkt = syn_packet t in
   t.snd_una <- 0;
   t.snd_nxt <- 1;
   (* Time the handshake: the SYN/SYN-ACK exchange seeds the RTO estimator,
@@ -609,21 +626,21 @@ let establish t =
   t.state <- Established;
   t.established_cb ()
 
+let syn_ack_packet t =
+  Packet.make ~key:t.key ~seq:0 ~syn:true ~has_ack:true ~ack:t.rcv_nxt
+    ~rwnd_field:(Stdlib.min 0xFFFF t.config.rcv_buf)
+    ~options:[ Packet.Mss t.config.mss; Packet.Window_scale t.config.wscale ]
+    ~payload:0 ()
+
 let handle_syn t (pkt : Packet.t) =
   (* Server side: record the client's sequence space and scale factor. *)
   t.rcv_nxt <- pkt.seq + 1;
   (match Packet.wscale pkt with Some s -> t.peer_wscale <- s | None -> t.peer_wscale <- 0);
   t.peer_rwnd <- pkt.rwnd_field;
   t.state <- Syn_received;
-  let reply =
-    Packet.make ~key:t.key ~seq:0 ~syn:true ~has_ack:true ~ack:t.rcv_nxt
-      ~rwnd_field:(Stdlib.min 0xFFFF t.config.rcv_buf)
-      ~options:[ Packet.Mss t.config.mss; Packet.Window_scale t.config.wscale ]
-      ~payload:0 ()
-  in
   t.snd_una <- 0;
   t.snd_nxt <- 1;
-  emit t reply
+  emit t (syn_ack_packet t)
 
 let handle_syn_ack t (pkt : Packet.t) =
   (match Packet.wscale pkt with Some s -> t.peer_wscale <- s | None -> t.peer_wscale <- 0);
@@ -651,15 +668,27 @@ let input t (pkt : Packet.t) =
   | Listen -> if pkt.syn && not pkt.has_ack then handle_syn t pkt
   | Syn_sent -> if pkt.syn && pkt.has_ack then handle_syn_ack t pkt
   | Syn_received ->
-    if pkt.has_ack && pkt.ack >= t.snd_nxt then begin
-      update_peer_window t pkt;
-      establish t
-    end;
-    if pkt.payload > 0 then handle_data t pkt
+    if pkt.syn && not pkt.has_ack then
+      (* A retransmitted SYN means our SYN-ACK was lost. *)
+      emit t (syn_ack_packet t)
+    else begin
+      if pkt.has_ack && pkt.ack >= t.snd_nxt then begin
+        update_peer_window t pkt;
+        establish t
+      end;
+      if pkt.payload > 0 then handle_data t pkt
+    end
   | Established | Fin_wait | Closing ->
-    if pkt.payload > 0 || pkt.fin then handle_data t pkt;
-    if pkt.has_ack then handle_ack t pkt;
-    if pkt.fin then handle_fin t pkt
+    if pkt.syn then
+      (* A duplicate SYN-ACK (our handshake ACK was lost).  Its window
+         field is unscaled (RFC 7323), so it must not reach
+         [update_peer_window]; just re-acknowledge. *)
+      send_pure_ack t
+    else begin
+      if pkt.payload > 0 || pkt.fin then handle_data t pkt;
+      if pkt.has_ack then handle_ack t pkt;
+      if pkt.fin then handle_fin t pkt
+    end
   | Closed -> ()
 
 (* ------------------------------------------------------------------ *)

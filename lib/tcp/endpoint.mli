@@ -43,6 +43,11 @@ val default_config : config
 val config_for_mtu : config -> mtu:int -> config
 (** Adjust [mss] for an MTU assuming 40 bytes of TCP/IP headers. *)
 
+val misbehaving : config -> config
+(** The deliberately hostile tenant stack of §3.3: [ignore_rwnd] set and
+    {!Aggressive.factory} as its congestion control, so only AC/DC's
+    policing stands between it and the switch buffers. *)
+
 val create_client :
   ?tracer:Obs.Trace.t ->
   Eventsim.Engine.t ->

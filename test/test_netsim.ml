@@ -59,7 +59,7 @@ let test_txq_tx_complete_hook () =
     Txq.create engine ~rate_bps:1_000_000_000 ~prop_delay:(Time_ns.us 50) ~jitter:None
       ~deliver:ignore
   in
-  Txq.set_on_tx_complete q (fun p -> freed := !freed + Packet.wire_size p);
+  Txq.set_on_tx_complete q (fun _ ~size -> freed := !freed + size);
   Txq.enqueue q (data_packet ());
   (* Buffer must be freed at serialization end (8us), before delivery. *)
   Engine.run ~until:(Time_ns.us 10) engine;
@@ -285,6 +285,47 @@ let prop_switch_conservation =
       && !delivered = Switch.forwarded_packets sw
       && Switch.buffer_used sw = 0)
 
+(* Every drop cause in one run — no-route, buffer exhaustion, dynamic
+   threshold, WRED — plus an option rewrite while packets sit queued: the
+   books must balance to exactly zero after drain under all of them.  The
+   rewrite is the regression half: accounting used to recompute wire_size
+   at dequeue, so growing a queued packet's options leaked buffer. *)
+let test_switch_drop_paths_accounting () =
+  let engine = Engine.create () in
+  let sw =
+    Switch.create engine ~buffer_capacity:4000 ~dt_alpha:1.0
+      ~ecn:{ Switch.mark_threshold = 1500; byte_mode_ref = None }
+      ()
+  in
+  let queued : Packet.t list ref = ref [] in
+  let port =
+    Switch.add_port sw ~rate_bps:1_000_000_000 ~prop_delay:Time_ns.zero ~deliver:ignore ()
+  in
+  Switch.add_route sw ~dst_ip:2 ~port;
+  Switch.input sw (data_packet ~dst:99 ());
+  (* no route: never admitted *)
+  let p1 = data_packet () and p2 = data_packet ~ecn:Packet.Ect0 () in
+  Switch.input sw p1;
+  (* queue 1000: the next non-ECT packet is over the 1500 mark → WRED. *)
+  Switch.input sw (data_packet ());
+  (* ECT survives the mark (CE) and is admitted: queue and used 2000. *)
+  Switch.input sw p2;
+  queued := [ p1; p2 ];
+  (* threshold = 4000 - 2000 = 2000: next packet dies by DT... *)
+  Switch.input sw (data_packet ());
+  (* ...and a jumbo one by total buffer exhaustion. *)
+  Switch.input sw (data_packet ~payload:2946 ());
+  check_int "admitted bytes only" 2000 (Switch.buffer_used sw);
+  check_int "four drop causes counted" 4 (Switch.drops sw);
+  check_bool "wred among them" true (Switch.wred_drops sw >= 1);
+  (* Mutate the queued packets (an 8-byte PACK appears, as AC/DC's receiver
+     module does to ACKs): accounting must still free the admitted sizes. *)
+  List.iter
+    (fun p -> Packet.set_option p (Packet.Pack { total_bytes = 1; marked_bytes = 0 }))
+    !queued;
+  Engine.run engine;
+  check_int "buffer returns to zero after drain" 0 (Switch.buffer_used sw)
+
 (* The port table grows by doubling; every id handed out must stay live
    and routable after many growth steps. *)
 let test_switch_many_ports () =
@@ -307,6 +348,113 @@ let test_switch_many_ports () =
   Switch.input sw (data_packet ());
   Engine.run engine;
   check_int "delivered via grown port" 1 !hits
+
+(* ------------------------------------------------------------------ *)
+(* Impair                                                              *)
+
+module Impair = Netsim.Impair
+
+let run_impaired ~seed ~config ~n =
+  let engine = Engine.create () in
+  let metrics = Obs.Metrics.create () in
+  let arrivals = ref [] in
+  let imp =
+    Impair.create ~metrics engine ~rng:(Eventsim.Rng.create ~seed) ~config
+      ~deliver:(fun p -> arrivals := (Engine.now engine, p.Packet.id) :: !arrivals)
+      ()
+  in
+  for _ = 1 to n do
+    Impair.deliver imp (data_packet ())
+  done;
+  Engine.run engine;
+  (imp, List.rev !arrivals)
+
+let test_impair_clean_is_identity () =
+  let deliver _ = () in
+  let engine = Engine.create () in
+  let wrapped =
+    Impair.wrap ~metrics:(Obs.Metrics.create ()) engine
+      ~rng:(Eventsim.Rng.create ~seed:1) ~config:Impair.clean deliver
+  in
+  (* A clean config must not even interpose: zero hot-path cost. *)
+  check_bool "same closure" true (wrapped == deliver)
+
+let test_impair_loss_and_replay () =
+  let config = { Impair.clean with loss = 0.3 } in
+  let imp, arrivals = run_impaired ~seed:7 ~config ~n:500 in
+  let lost = Impair.lost imp in
+  check_bool "some loss" true (lost > 100 && lost < 200);
+  check_int "delivered the rest" (500 - lost) (List.length arrivals);
+  (* Same seed, same fate for every packet. *)
+  let imp2, arrivals2 = run_impaired ~seed:7 ~config ~n:500 in
+  check_int "replay: same losses" lost (Impair.lost imp2);
+  check_int "replay: same arrival count" (List.length arrivals) (List.length arrivals2)
+
+let test_impair_duplication () =
+  let config = { Impair.clean with dup = 0.5 } in
+  let imp, arrivals = run_impaired ~seed:3 ~config ~n:200 in
+  let dups = Impair.duplicated imp in
+  check_bool "some duplicates" true (dups > 50);
+  check_int "original + copy each delivered" (200 + dups) (List.length arrivals);
+  (* Duplicates are distinct frames, not aliases. *)
+  let ids = List.map snd arrivals in
+  check_int "all ids distinct" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_impair_corrupt_drops () =
+  let config = { Impair.clean with corrupt = 0.25 } in
+  let imp, arrivals = run_impaired ~seed:11 ~config ~n:400 in
+  let bad = Impair.corrupted imp in
+  check_bool "some corruption" true (bad > 60);
+  check_int "corrupted never delivered" (400 - bad) (List.length arrivals)
+
+let test_impair_strip_pack () =
+  let engine = Engine.create () in
+  let metrics = Obs.Metrics.create () in
+  let with_pack = ref 0 and total = ref 0 in
+  let imp =
+    Impair.create ~metrics engine
+      ~rng:(Eventsim.Rng.create ~seed:5)
+      ~config:{ Impair.clean with strip_pack = 0.5 }
+      ~deliver:(fun p ->
+        incr total;
+        if Packet.pack_info p <> None then incr with_pack)
+      ()
+  in
+  for _ = 1 to 100 do
+    let p = data_packet () in
+    Packet.set_option p (Packet.Pack { total_bytes = 1000; marked_bytes = 0 });
+    Impair.deliver imp p
+  done;
+  Engine.run engine;
+  let stripped = Impair.pack_stripped imp in
+  check_int "all delivered (corruption, not loss)" 100 !total;
+  check_bool "some stripped" true (stripped > 20);
+  check_int "survivors keep the option" (100 - stripped) !with_pack
+
+let test_impair_reorder () =
+  let config =
+    { Impair.clean with reorder = 0.3; reorder_delay = Time_ns.us 100 }
+  in
+  let imp, arrivals = run_impaired ~seed:9 ~config ~n:100 in
+  check_bool "some held back" true (Impair.reordered imp > 10);
+  check_int "nothing lost" 100 (List.length arrivals);
+  (* Delivery order differs from send order (= id order). *)
+  let ids = List.map snd arrivals in
+  check_bool "out of order" true (ids <> List.sort compare ids)
+
+let test_impair_config_parse () =
+  (match Impair.config_of_string "loss=0.1, dup=0.05,reorder=0.2,reorder_delay_us=50" with
+  | Ok c ->
+    Alcotest.(check (float 1e-9)) "loss" 0.1 c.Impair.loss;
+    Alcotest.(check (float 1e-9)) "dup" 0.05 c.Impair.dup;
+    check_int "reorder delay" (Time_ns.us 50) c.Impair.reorder_delay;
+    Alcotest.(check (float 1e-9)) "corrupt defaults" 0.0 c.Impair.corrupt
+  | Error e -> Alcotest.fail e);
+  check_bool "empty spec is clean" true (Impair.config_of_string "" = Ok Impair.clean);
+  check_bool "bad key rejected" true (Result.is_error (Impair.config_of_string "los=0.1"));
+  check_bool "p > 1 rejected" true (Result.is_error (Impair.config_of_string "loss=1.5"));
+  check_bool "reorder without delay rejected" true
+    (Result.is_error (Impair.config_of_string "reorder=0.5"))
 
 let netsim_qtests = List.map QCheck_alcotest.to_alcotest [ prop_switch_conservation ]
 
@@ -332,7 +480,19 @@ let () =
           Alcotest.test_case "ecmp groups" `Quick test_switch_ecmp_group;
           Alcotest.test_case "saturated port serves line rate" `Quick
             test_switch_saturated_port_rate;
+          Alcotest.test_case "drop paths balance the buffer" `Quick
+            test_switch_drop_paths_accounting;
           Alcotest.test_case "port table growth" `Quick test_switch_many_ports;
+        ] );
+      ( "impair",
+        [
+          Alcotest.test_case "clean config is identity" `Quick test_impair_clean_is_identity;
+          Alcotest.test_case "loss + seeded replay" `Quick test_impair_loss_and_replay;
+          Alcotest.test_case "duplication" `Quick test_impair_duplication;
+          Alcotest.test_case "corruption drops" `Quick test_impair_corrupt_drops;
+          Alcotest.test_case "pack stripping" `Quick test_impair_strip_pack;
+          Alcotest.test_case "reordering" `Quick test_impair_reorder;
+          Alcotest.test_case "config parsing" `Quick test_impair_config_parse;
         ] );
       ("properties", netsim_qtests);
     ]

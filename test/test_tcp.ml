@@ -490,6 +490,113 @@ let test_vegas_halves_on_loss () =
   algo.Cc.on_congestion view Cc.Dup_acks;
   check_int "halves" 25_000 !cwnd
 
+(* Hand-computed law checks: each scenario is traced on paper against the
+   published control law, and the test pins the exact resulting window.
+   All use mss = 1000 so windows read directly in MSS. *)
+
+let test_cubic_epoch_plateau_and_k () =
+  let view, cwnd, ssthresh, time = fake_view ~cwnd0:100_000 () in
+  ssthresh := 1_000;
+  let algo = Tcp.Cubic.factory () in
+  (* Cut at w_max = 100 MSS: window drops to beta * w_max = 70 MSS and the
+     cubic epoch restarts with K = cbrt(w_max * (1-beta) / C) =
+     cbrt(100 * 0.3 / 0.4) = 4.217 s. *)
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_int "cut to beta * w_max" 70_000 !cwnd;
+  (* At the epoch start the cubic target equals the post-cut window (the
+     curve's inflection plateau): no growth beyond the Reno-friendly
+     crumbs, which truncate away below one byte. *)
+  algo.Cc.on_ack view ~acked:1000 ~rtt:None ~ce_marked:false;
+  check_int "plateau at epoch start" 70_000 !cwnd;
+  (* At t = K the cubic target is w_max again: one ACK moves the window by
+     (target - cwnd) / cwnd = (100 - 70) / 70 MSS -> 70428 bytes. *)
+  time := 4_217_163_327;
+  algo.Cc.on_ack view ~acked:1000 ~rtt:None ~ce_marked:false;
+  check_int "target is w_max at t=K" 70_428 !cwnd
+
+let test_highspeed_increase_law () =
+  (* Reno region (w <= 38): a(w) = 1 MSS per RTT, so one ACK of one MSS at
+     w = 20 adds mss^2 / cwnd = 50 bytes. *)
+  let view, cwnd, ssthresh, _ = fake_view ~cwnd0:20_000 () in
+  ssthresh := 1_000;
+  let algo = Tcp.Highspeed.factory () in
+  algo.Cc.on_ack view ~acked:1000 ~rtt:None ~ce_marked:false;
+  check_int "reno region: one MSS per window" 20_050 !cwnd;
+  (* High region: at w = 1000, b(w) = 0.330, p(w) = 0.078 / w^1.2 gives
+     a(w) = w^2 p 2b/(2-b) = 7.74 MSS per RTT -> 7 bytes-per-MSS-acked
+     after truncation. *)
+  let view, cwnd, ssthresh, _ = fake_view ~cwnd0:1_000_000 () in
+  ssthresh := 1_000;
+  let algo = Tcp.Highspeed.factory () in
+  algo.Cc.on_ack view ~acked:1000 ~rtt:None ~ce_marked:false;
+  check_int "high region: a(1000) = 7.74 MSS/RTT" 1_000_007 !cwnd
+
+let test_highspeed_decrease_endpoints () =
+  (* The RFC 3649 interpolation must hit both published endpoints: b = 0.5
+     at w_low = 38 and b = 0.1 at w_high = 83000. *)
+  let view, cwnd, _, _ = fake_view ~cwnd0:38_000 () in
+  let algo = Tcp.Highspeed.factory () in
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_int "b(38) = 0.5" 19_000 !cwnd;
+  let view, cwnd, _, _ = fake_view ~cwnd0:83_000_000 () in
+  let algo = Tcp.Highspeed.factory () in
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_bool "b(83000) = 0.1" true (abs (!cwnd - 74_700_000) <= 1)
+
+let test_illinois_delay_adaptive_gains () =
+  let view, cwnd, ssthresh, time = fake_view ~cwnd0:20_000 () in
+  ssthresh := 1_000;
+  let algo = Tcp.Illinois.factory () in
+  (* Epoch 1 (no delay history yet): alpha = 1, so one ACK adds
+     mss^2 / cwnd = 50 bytes. *)
+  algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 100)) ~ce_marked:false;
+  check_int "alpha=1 before delay history" 20_050 !cwnd;
+  (* Epoch 2 at max queueing delay (da = dm): alpha falls to alpha_min =
+     0.1 -> incr = 0.1 * mss * acked / 20050 = 4 bytes. *)
+  time := Time_ns.us 200;
+  algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 500)) ~ce_marked:false;
+  check_int "alpha_min at full delay" 20_054 !cwnd;
+  (* Epoch 3 back at near-base delay (da <= dm/100): alpha springs to
+     alpha_max = 10 -> incr = 10 * mss * acked / 20054 = 498 bytes; and
+     beta collapses to beta_min = 0.125, so a cut leaves 87.5%. *)
+  time := Time_ns.us 350;
+  algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 104)) ~ce_marked:false;
+  check_int "alpha_max when the path drains" 20_552 !cwnd;
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_int "beta_min cut keeps 7/8" 17_983 !cwnd;
+  check_int "ssthresh follows the cut" 17_983 !ssthresh
+
+let test_illinois_initial_beta_halves () =
+  (* Before any delay history beta = beta_max = 0.5: a plain halving. *)
+  let view, cwnd, _, _ = fake_view ~cwnd0:20_000 () in
+  let algo = Tcp.Illinois.factory () in
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_int "beta_max cut" 10_000 !cwnd
+
+let test_vegas_additive_steps () =
+  let view, cwnd, _, time = fake_view ~cwnd0:20_000 () in
+  let algo = Tcp.Vegas.factory () in
+  (* Leave slow start via a loss: cwnd <- in_flight / 2 = 10 MSS. *)
+  algo.Cc.on_congestion view Cc.Dup_acks;
+  check_int "loss halves in-flight" 10_000 !cwnd;
+  (* Establish base RTT = 100 us, then an epoch at min RTT = 110 us:
+     diff = 10 * (110 - 100) / 110 = 0.91 < alpha = 2 -> up one MSS. *)
+  algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 100)) ~ce_marked:false;
+  List.iter
+    (fun t ->
+      time := Time_ns.us t;
+      algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 110)) ~ce_marked:false)
+    [ 10; 20; 150 ];
+  check_int "under alpha queued: +1 MSS" 11_000 !cwnd;
+  (* An epoch at min RTT = 300 us: diff = 11 * 200 / 300 = 7.3 > beta = 4
+     -> down one MSS.  (The 260 us ACK only rolls the epoch over.) *)
+  List.iter
+    (fun t ->
+      time := Time_ns.us t;
+      algo.Cc.on_ack view ~acked:1000 ~rtt:(Some (Time_ns.us 300)) ~ce_marked:false)
+    [ 260; 270; 280; 400 ];
+  check_int "over beta queued: -1 MSS" 10_000 !cwnd
+
 let prop_all_ccs_keep_cwnd_positive =
   QCheck.Test.make ~name:"every CC keeps cwnd >= 2 MSS under random events" ~count:100
     QCheck.(pair (int_bound 5) (list (int_bound 3)))
@@ -536,6 +643,37 @@ let test_rto_initial_value () =
   let rto = Tcp.Rto.create () in
   check_int "1s before any sample" (Time_ns.sec 1.0) (Tcp.Rto.timeout rto);
   check_bool "no srtt yet" true (Tcp.Rto.srtt rto = None)
+
+(* The backoff law, as a property: after one sample r the base RTO is
+   clamp(3r) (srtt = r, rttvar = r/2), n backoffs multiply it by
+   2^min(n,6) up to the 4 s cap, and a reset restores the base exactly. *)
+let prop_rto_backoff_law =
+  QCheck.Test.make ~name:"rto backoff doubles to the cap and resets on ack" ~count:200
+    QCheck.(pair (int_range 0 10) (int_range 50 2_000_000))
+    (fun (n, rtt_us) ->
+      let rto = Tcp.Rto.create () in
+      Tcp.Rto.observe rto (Time_ns.us rtt_us);
+      let base = Tcp.Rto.timeout rto in
+      for _ = 1 to n do
+        Tcp.Rto.backoff rto
+      done;
+      let expected = Time_ns.min (Time_ns.sec 4.0) (base * (1 lsl Stdlib.min n 6)) in
+      let backed = Tcp.Rto.timeout rto = expected in
+      Tcp.Rto.reset_backoff rto;
+      backed && Tcp.Rto.timeout rto = base)
+
+let prop_rto_floor_and_cap =
+  QCheck.Test.make ~name:"rto stays within [min_rto, max_rto] for any history" ~count:200
+    QCheck.(list (pair (int_range 1 5_000_000) bool))
+    (fun events ->
+      let rto = Tcp.Rto.create () in
+      List.for_all
+        (fun (rtt_us, do_backoff) ->
+          if do_backoff then Tcp.Rto.backoff rto
+          else Tcp.Rto.observe rto (Time_ns.us rtt_us);
+          let t = Tcp.Rto.timeout rto in
+          Time_ns.ms 10 <= t && t <= Time_ns.sec 4.0)
+        events)
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
@@ -600,6 +738,8 @@ let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_all_ccs_keep_cwnd_positive;
+      prop_rto_backoff_law;
+      prop_rto_floor_and_cap;
       prop_delivery_under_random_loss;
       prop_rwnd_never_exceeded;
     ]
@@ -661,6 +801,17 @@ let () =
           Alcotest.test_case "highspeed reno region" `Quick test_highspeed_reno_below_38;
           Alcotest.test_case "illinois cut bounds" `Quick test_illinois_cut_bounds;
           Alcotest.test_case "vegas halves" `Quick test_vegas_halves_on_loss;
+        ] );
+      ( "cc laws (hand-computed)",
+        [
+          Alcotest.test_case "cubic epoch plateau and K" `Quick test_cubic_epoch_plateau_and_k;
+          Alcotest.test_case "highspeed increase" `Quick test_highspeed_increase_law;
+          Alcotest.test_case "highspeed decrease endpoints" `Quick
+            test_highspeed_decrease_endpoints;
+          Alcotest.test_case "illinois delay-adaptive gains" `Quick
+            test_illinois_delay_adaptive_gains;
+          Alcotest.test_case "illinois initial beta" `Quick test_illinois_initial_beta_halves;
+          Alcotest.test_case "vegas additive steps" `Quick test_vegas_additive_steps;
         ] );
       ( "rto",
         [
