@@ -341,6 +341,12 @@ let smoke () =
     (Workload.Probe.samples_ms probe);
   Obs.Report.write report ~path:!report_out;
   Format.printf "  wrote %s@." !report_out;
+  (* Close any --trace/--pcap artifacts here so they cover exactly the
+     simulation run: the CPU microbench below pushes synthetic packets
+     through bare datapaths, which would pollute provenance (events with
+     no Created origin) and break `trace_query validate`. *)
+  Obs.Runtime.close_trace ();
+  Obs.Runtime.close_pcap ();
   run_cpu_bench ~quota:0.05 ()
 
 (* ------------------------------------------------------------------ *)
@@ -386,6 +392,12 @@ let () =
     | "--report" :: path :: rest ->
       report_out := path;
       parse ids out rest
+    | "--trace" :: path :: rest ->
+      Obs.Runtime.trace_to_file path;
+      parse ids out rest
+    | "--pcap" :: path :: rest ->
+      Obs.Runtime.pcap_to_file path;
+      parse ids out rest
     | arg :: rest -> parse (arg :: ids) out rest
   in
   let ids, out = parse [] None (List.tl (Array.to_list Sys.argv)) in
@@ -400,4 +412,6 @@ let () =
       [] ids
   in
   Experiments.Harness.write_json ~path:out (bench_json ~scenarios);
+  Obs.Runtime.close_trace ();
+  Obs.Runtime.close_pcap ();
   Format.printf "@.wrote %s@." out

@@ -71,6 +71,22 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let trace_filter_arg =
+  let doc =
+    "Filter trace events before the sink (requires --trace).  $(docv) is comma-separated \
+     'flow=SRC_IP:SRC_PORT-DST_IP:DST_PORT' and 'kind=K1|K2|...' clauses; repeated values of \
+     one key union, distinct keys intersect.  Example: \
+     'flow=1:40000-6:5001,kind=drop|ce_mark|rwnd_rewrite'."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-filter" ] ~docv:"SPEC" ~doc)
+
+let pcap_arg =
+  let doc =
+    "Capture every frame crossing a switch port, VM edge or impaired link to $(docv) \
+     (pcapng with per-link interfaces if the name ends in .pcapng, classic pcap otherwise)."
+  in
+  Arg.(value & opt (some string) None & info [ "pcap" ] ~docv:"FILE" ~doc)
+
 let metrics_arg =
   let doc = "Write per-experiment metric snapshots (JSON) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
@@ -138,11 +154,27 @@ let run_fuzz ~count ~seed ~report =
   end;
   violations
 
-let main verbose list trace metrics_out report timeseries impair fuzz seed ids =
+let main verbose list trace trace_filter pcap metrics_out report timeseries impair fuzz seed
+    ids =
   setup_logs verbose;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
      Format.eprintf "cannot open trace file: %s@." msg;
+     exit 1);
+  (match trace_filter with
+  | None -> ()
+  | Some spec when trace = None ->
+    Format.eprintf "--trace-filter %S requires --trace@." spec;
+    exit 1
+  | Some spec -> (
+    match Obs.Trace.filter_of_spec spec with
+    | Ok wrap -> Obs.Runtime.set_tracer (wrap (Obs.Runtime.tracer ()))
+    | Error msg ->
+      Format.eprintf "bad --trace-filter spec: %s@." msg;
+      exit 1));
+  (try Option.iter Obs.Runtime.pcap_to_file pcap
+   with Sys_error msg ->
+     Format.eprintf "cannot open pcap file: %s@." msg;
      exit 1);
   (* Fail on unwritable output paths before spending minutes simulating. *)
   (try
@@ -181,6 +213,7 @@ let main verbose list trace metrics_out report timeseries impair fuzz seed ids =
     let violations = run_fuzz ~count ~seed ~report in
     Obs.Runtime.clear_timeseries_sink ();
     Obs.Runtime.close_trace ();
+    Obs.Runtime.close_pcap ();
     if violations > 0 then exit 1
   | None ->
   if list || ids = [] then list_experiments ()
@@ -202,14 +235,16 @@ let main verbose list trace metrics_out report timeseries impair fuzz seed ids =
   end;
   Obs.Runtime.clear_timeseries_sink ();
   Obs.Runtime.close_trace ();
-  Option.iter (Format.printf "  [trace written to %s]@.") trace
+  Obs.Runtime.close_pcap ();
+  Option.iter (Format.printf "  [trace written to %s]@.") trace;
+  Option.iter (Format.printf "  [pcap written to %s]@.") pcap
 
 let cmd =
   let doc = "reproduce the AC/DC TCP (SIGCOMM 2016) experiments" in
   let info = Cmd.info "acdc_expt" ~doc in
   Cmd.v info
     Term.(
-      const main $ verbose_arg $ list_arg $ trace_arg $ metrics_arg $ report_arg
-      $ timeseries_arg $ impair_arg $ fuzz_arg $ seed_arg $ ids_arg)
+      const main $ verbose_arg $ list_arg $ trace_arg $ trace_filter_arg $ pcap_arg
+      $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ fuzz_arg $ seed_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,378 @@
+(* Offline provenance queries: answer "what happened to this packet /
+   this flow?" from a run's JSONL trace, and validate that a pcap capture,
+   a trace and a report all describe the same run. *)
+
+module Json = Obs.Json
+module Trace = Obs.Trace
+module Pcap = Obs.Pcap
+module Packet = Dcpkt.Packet
+module Flow_key = Dcpkt.Flow_key
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error msg -> failf "%s" msg
+
+let load_trace path =
+  let events = ref [] in
+  let lineno = ref 0 in
+  String.split_on_char '\n' (read_file path)
+  |> List.iter (fun line ->
+         incr lineno;
+         if String.trim line <> "" then
+           match Json.of_string line with
+           | Error e -> failf "%s:%d: %s" path !lineno e
+           | Ok json -> (
+             match Trace.event_of_json json with
+             | Error e -> failf "%s:%d: %s" path !lineno e
+             | Ok ev -> events := ev :: !events));
+  List.rev !events
+
+let us ns = float_of_int ns /. 1000.0
+
+(* A packet's lifecycle ends at exactly one of these (modulo the
+   Policer_drop + Vswitch_drop pair the egress chain emits together). *)
+let is_terminal = function
+  | Trace.Delivered _ | Trace.Drop _ | Trace.Vswitch_drop _ | Trace.Policer_drop _ -> true
+  | Trace.Impaired { action = Trace.Imp_lost | Trace.Imp_corrupted; _ } -> true
+  | _ -> false
+
+let describe_terminal = function
+  | Trace.Delivered { node; _ } -> Printf.sprintf "delivered at %s" node
+  | Trace.Drop { node; reason; _ } ->
+    Printf.sprintf "dropped at %s (%s)" node
+      (match reason with
+      | Trace.No_route -> "no route"
+      | Trace.Buffer_full -> "buffer full"
+      | Trace.Over_threshold -> "over threshold"
+      | Trace.Wred -> "wred"
+      | Trace.No_endpoint -> "no endpoint")
+  | Trace.Vswitch_drop { node; egress; _ } ->
+    Printf.sprintf "dropped by the %s vswitch (%s)" node (if egress then "egress" else "ingress")
+  | Trace.Policer_drop { window; _ } ->
+    Printf.sprintf "policed (beyond the %d-byte enforced window)" window
+  | Trace.Impaired { link; action = Trace.Imp_lost; _ } -> Printf.sprintf "lost on %s" link
+  | Trace.Impaired { link; action = Trace.Imp_corrupted; _ } ->
+    Printf.sprintf "corrupted on %s" link
+  | _ -> "in flight when the trace ended"
+
+let print_timeline evs =
+  Format.printf "  %12s %12s  %s@." "t (us)" "+hop (us)" "event";
+  ignore
+    (List.fold_left
+       (fun prev (now, ev) ->
+         (match prev with
+         | None -> Format.printf "  %12.3f %12s  %a@." (us now) "" Trace.pp_event ev
+         | Some p ->
+           Format.printf "  %12.3f %12.3f  %a@." (us now) (us (now - p)) Trace.pp_event ev);
+         Some now)
+       None evs)
+
+let explain_pkt events n =
+  let evs = List.filter (fun (_, ev) -> Trace.pkt_of_event ev = Some n) events in
+  if evs = [] then failf "no events for packet %d in this trace" n;
+  (* Provenance header: how the packet came to exist. *)
+  (match
+     List.find_opt (function _, Trace.Created { pkt; _ } -> pkt = n | _ -> false) events
+   with
+  | Some (t, Trace.Created { node; flow; size; kind; _ }) ->
+    Format.printf "packet %d: %s, %d bytes on wire, flow %a, created at %s (t=%.3f us)@." n
+      kind size Flow_key.pp flow node (us t)
+  | _ -> (
+    match
+      List.find_opt
+        (function
+          | _, Trace.Impaired { action = Trace.Imp_duplicated { copy }; _ } -> copy = n
+          | _ -> false)
+        events
+    with
+    | Some (t, Trace.Impaired { link; pkt; _ }) ->
+      Format.printf "packet %d: duplicate of packet %d, made by %s (t=%.3f us)@." n pkt link
+        (us t)
+    | _ -> Format.printf "packet %d: (no creation event in this trace)@." n));
+  print_timeline evs;
+  let first, _ = List.hd evs in
+  let last_t, last_ev = List.nth evs (List.length evs - 1) in
+  let terminal = List.filter (fun (_, ev) -> is_terminal ev) evs in
+  (match List.rev terminal with
+  | (t, ev) :: _ ->
+    Format.printf "lifecycle: %s after %.3f us (%d events)@." (describe_terminal ev)
+      (us (t - first)) (List.length evs)
+  | [] ->
+    Format.printf "lifecycle: in flight when the trace ended (last seen %a at t=%.3f us)@."
+      Trace.pp_event last_ev (us last_t))
+
+let explain_flow events spec =
+  let flow =
+    match Trace.flow_of_spec spec with Ok f -> f | Error e -> failf "%s" e
+  in
+  let keep = Trace.flow_selector ~flows:[ flow ] in
+  let evs = List.filter (fun (now, ev) -> keep now ev) events in
+  if evs = [] then failf "no events for flow %s in this trace" spec;
+  Format.printf "flow %a: %d events@." Flow_key.pp flow (List.length evs);
+  print_timeline evs;
+  let count p = List.length (List.filter (fun (_, ev) -> p ev) evs) in
+  Format.printf
+    "summary: %d packets created, %d delivered, %d rwnd rewrites, %d alpha updates, %d \
+     policer drops, %d rto inferences@."
+    (count (function Trace.Created _ -> true | _ -> false))
+    (count (function Trace.Delivered _ -> true | _ -> false))
+    (count (function Trace.Rwnd_rewrite _ -> true | _ -> false))
+    (count (function Trace.Alpha_update _ -> true | _ -> false))
+    (count (function Trace.Policer_drop _ -> true | _ -> false))
+    (count (function Trace.Rto_fire _ -> true | _ -> false))
+
+let summary events =
+  (match (events, List.rev events) with
+  | (t0, _) :: _, (t1, _) :: _ ->
+    Format.printf "%d events spanning %.3f us (t=%.3f..%.3f us)@." (List.length events)
+      (us (t1 - t0)) (us t0) (us t1)
+  | _ -> Format.printf "empty trace@.");
+  let kinds = Hashtbl.create 16 in
+  let pkts = Hashtbl.create 1024 in
+  let flows = Hashtbl.create 64 in
+  List.iter
+    (fun (_, ev) ->
+      let k = Trace.kind_of_event ev in
+      Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+      Option.iter (fun p -> Hashtbl.replace pkts p ()) (Trace.pkt_of_event ev);
+      Option.iter (fun f -> Hashtbl.replace flows f ()) (Trace.flow_of_event ev))
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, v) -> Format.printf "  %-14s %8d@." k v);
+  Format.printf "%d distinct packets, %d distinct flows@." (Hashtbl.length pkts)
+    (Hashtbl.length flows)
+
+(* ------------------------------------------------------------------ *)
+(* validate: do the capture, the trace and the report agree?           *)
+
+let check name ok detail =
+  Format.printf "  %-38s %s@." name (if ok then "ok" else "FAIL — " ^ detail);
+  ok
+
+(* Every packet-keyed event must belong to a packet whose origin the
+   trace records (a Created event, or birth as an impairment duplicate),
+   and nothing may happen to a packet after its terminal event. *)
+let check_lifecycles events =
+  let by_pkt = Hashtbl.create 4096 in
+  List.iter
+    (fun (now, ev) ->
+      match Trace.pkt_of_event ev with
+      | None -> ()
+      | Some p ->
+        Hashtbl.replace by_pkt p
+          ((now, ev) :: Option.value ~default:[] (Hashtbl.find_opt by_pkt p)))
+    events;
+  let origins = Hashtbl.create 4096 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Created { pkt; _ } -> Hashtbl.replace origins pkt ()
+      | Trace.Impaired { action = Trace.Imp_duplicated { copy }; _ } ->
+        Hashtbl.replace origins copy ()
+      | _ -> ())
+    events;
+  let orphans = ref [] and zombies = ref [] and complete = ref 0 in
+  Hashtbl.iter
+    (fun p evs ->
+      let evs = List.rev evs in
+      if not (Hashtbl.mem origins p) then orphans := p :: !orphans;
+      let rec scan seen_terminal = function
+        | [] -> ()
+        | (_, ev) :: rest ->
+          if seen_terminal && not (is_terminal ev) then zombies := p :: !zombies
+          else scan (seen_terminal || is_terminal ev) rest
+      in
+      scan false evs;
+      if List.exists (fun (_, ev) -> is_terminal ev) evs then incr complete)
+    by_pkt;
+  let sample l = String.concat ", " (List.map string_of_int (List.filteri (fun i _ -> i < 5) l)) in
+  let ok1 =
+    check "every packet has a recorded origin" (!orphans = [])
+      (Printf.sprintf "%d packet(s) with events but no origin (e.g. %s)" (List.length !orphans)
+         (sample !orphans))
+  in
+  let ok2 =
+    check "no events after a terminal event" (!zombies = [])
+      (Printf.sprintf "%d packet(s) live on after dying (e.g. %s)" (List.length !zombies)
+         (sample !zombies))
+  in
+  Format.printf "  (%d packets traced, %d reached a terminal event, %d in flight at end)@."
+    (Hashtbl.length by_pkt) !complete
+    (Hashtbl.length by_pkt - !complete);
+  ok1 && ok2
+
+let check_pcap_roundtrip frames =
+  let bad = ref 0 and first_err = ref "" in
+  List.iteri
+    (fun i (f : Pcap.frame) ->
+      match Packet.of_wire f.Pcap.data with
+      | Error e ->
+        incr bad;
+        if !first_err = "" then first_err := Printf.sprintf "frame %d: %s" i e
+      | Ok pkt ->
+        if Packet.to_wire pkt <> f.Pcap.data then begin
+          incr bad;
+          if !first_err = "" then
+            first_err := Printf.sprintf "frame %d: re-serialization differs" i
+        end
+        else if f.Pcap.orig_len <> String.length f.Pcap.data + pkt.Packet.payload then begin
+          incr bad;
+          if !first_err = "" then
+            first_err :=
+              Printf.sprintf "frame %d: orig_len %d <> header %d + payload %d" i
+                f.Pcap.orig_len (String.length f.Pcap.data) pkt.Packet.payload
+        end)
+    frames;
+  check
+    (Printf.sprintf "all %d frames parse and round-trip" (List.length frames))
+    (!bad = 0)
+    (Printf.sprintf "%d frame(s) failed; %s" !bad !first_err)
+
+(* The capture taps are: every transmit-queue dequeue, both directions of
+   every VM edge, and every frame an impaired link carries forward.  Each
+   tap has an exact witness — Dequeue events, the vswitch egress counter
+   plus Delivered/No_endpoint events, and the impair counters — so for an
+   unfiltered trace the frame count must match to the packet. *)
+let check_counts frames events report_path =
+  let counters =
+    match report_path with
+    | None -> []
+    | Some path -> (
+      match Json.of_string (read_file path) with
+      | Error e -> failf "%s: %s" path e
+      | Ok json -> (
+        match Option.bind (Json.member "metrics" json) (Json.member "counters") with
+        | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (k, v) -> match v with Json.Int i -> Some (k, i) | _ -> None)
+            fields
+        | _ -> failf "%s: no metrics.counters object" path))
+  in
+  let counter name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let count p = List.length (List.filter (fun (_, ev) -> p ev) events) in
+  let dequeues = count (function Trace.Dequeue _ -> true | _ -> false) in
+  let delivered = count (function Trace.Delivered _ -> true | _ -> false) in
+  let no_endpoint =
+    count (function Trace.Drop { reason = Trace.No_endpoint; _ } -> true | _ -> false)
+  in
+  match report_path with
+  | None ->
+    (* Without the metrics snapshot only the tap inventory from the trace
+       is available; the VM egress tap has no trace witness, so settle for
+       a lower bound. *)
+    check "frame count covers traced taps"
+      (List.length frames >= dequeues + delivered + no_endpoint)
+      (Printf.sprintf "%d frames < %d dequeues + %d delivered + %d no-endpoint"
+         (List.length frames) dequeues delivered no_endpoint)
+  | Some _ ->
+    let vm_egress = counter "vswitch.egress_packets" in
+    let impair_forwarded =
+      (* Link names may themselves contain dots ("impair.host1.up.lost"),
+         so the field is the segment after the last dot. *)
+      List.fold_left
+        (fun acc (k, v) ->
+          if not (String.length k > 7 && String.sub k 0 7 = "impair.") then acc
+          else
+            match String.rindex_opt k '.' with
+            | None -> acc
+            | Some i -> (
+              match String.sub k (i + 1) (String.length k - i - 1) with
+              | "offered" | "duplicated" -> acc + v
+              | "lost" | "corrupted" -> acc - v
+              | _ -> acc))
+        0 counters
+    in
+    let expected = dequeues + delivered + no_endpoint + vm_egress + impair_forwarded in
+    check "frame count matches metrics + trace"
+      (List.length frames = expected)
+      (Printf.sprintf
+         "%d frames <> %d (= %d dequeues + %d delivered + %d no-endpoint + %d vm egress + %d \
+          impair-forwarded)"
+         (List.length frames) expected dequeues delivered no_endpoint vm_egress
+         impair_forwarded)
+
+let validate ~pcap ~trace ~report =
+  let events = load_trace trace in
+  Format.printf "validating %s against %s%s@." pcap trace
+    (match report with Some r -> " and " ^ r | None -> "");
+  let frames =
+    match Pcap.read (read_file pcap) with Ok f -> f | Error e -> failf "%s: %s" pcap e
+  in
+  (* Run every check even after a failure, so one run reports them all. *)
+  let c1 = check (Printf.sprintf "trace parses (%d events)" (List.length events)) true "" in
+  let c2 = check_pcap_roundtrip frames in
+  let c3 = check_lifecycles events in
+  let c4 = check_counts frames events report in
+  let ok = c1 && c2 && c3 && c4 in
+  if not ok then failf "validation failed";
+  Format.printf "all checks passed@."
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+
+open Cmdliner
+
+let trace_pos =
+  let doc = "JSONL trace file (written by acdc_expt --trace)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let wrap f = try `Ok (f ()) with Fail msg -> `Error (false, msg)
+
+let explain_cmd =
+  let pkt_arg =
+    let doc = "Explain packet $(docv): its full lifecycle timeline with hop latencies." in
+    Arg.(value & opt (some int) None & info [ "pkt" ] ~docv:"ID" ~doc)
+  in
+  let flow_arg =
+    let doc =
+      "Explain flow $(docv) (format SRC_IP:SRC_PORT-DST_IP:DST_PORT): every event of every \
+       packet of the flow, in either direction."
+    in
+    Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let run pkt flow trace =
+    wrap (fun () ->
+        let events = load_trace trace in
+        match (pkt, flow) with
+        | Some n, None -> explain_pkt events n
+        | None, Some spec -> explain_flow events spec
+        | Some _, Some _ -> failf "--pkt and --flow are mutually exclusive"
+        | None, None -> failf "one of --pkt or --flow is required")
+  in
+  let doc = "reconstruct a packet's or flow's provenance timeline from a trace" in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(ret (const run $ pkt_arg $ flow_arg $ trace_pos))
+
+let summary_cmd =
+  let run trace = wrap (fun () -> summary (load_trace trace)) in
+  let doc = "per-kind event counts and the trace's time span" in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(ret (const run $ trace_pos))
+
+let validate_cmd =
+  let pcap_arg =
+    let doc = "Capture file (pcap or pcapng) to validate." in
+    Arg.(required & opt (some file) None & info [ "pcap" ] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc = "Unfiltered JSONL trace of the same run." in
+    Arg.(required & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let report_arg =
+    let doc = "Run report of the same run; enables the exact frame-count cross-check." in
+    Arg.(value & opt (some file) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run pcap trace report = wrap (fun () -> validate ~pcap ~trace ~report) in
+  let doc = "check that a capture, a trace and a report describe the same run" in
+  Cmd.v
+    (Cmd.info "validate" ~doc)
+    Term.(ret (const run $ pcap_arg $ trace_arg $ report_arg))
+
+let cmd =
+  let doc = "query and validate AC/DC run artifacts (traces and captures)" in
+  Cmd.group (Cmd.info "trace_query" ~doc) [ explain_cmd; summary_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -7,7 +7,7 @@ type t = { sender : Sender.t; receiver : Receiver.t }
 let create ?metrics ?tracer engine config =
   {
     sender = Sender.create ?metrics ?tracer engine config;
-    receiver = Receiver.create ?metrics engine config;
+    receiver = Receiver.create ?metrics ?tracer engine config;
   }
 
 let processor t =

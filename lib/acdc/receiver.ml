@@ -9,19 +9,23 @@ type flow = {
 
 type t = {
   config : Config.t;
+  engine : Eventsim.Engine.t;
   table : flow Vswitch.Flow_table.t;
+  tracer : Obs.Trace.t;
   m_packs_sent : Obs.Metrics.counter;
   m_facks_sent : Obs.Metrics.counter;
 }
 
 let enforced t key = (t.config.Config.policy key).Config.enforce
 
-let create ?metrics engine config =
+let create ?metrics ?tracer engine config =
   let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
   let scope = Obs.Metrics.scope registry "acdc.receiver" in
   {
     config;
+    engine;
     table = Vswitch.Flow_table.create engine ();
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
     m_packs_sent = Obs.Metrics.scope_counter scope "packs_sent";
     m_facks_sent = Obs.Metrics.scope_counter scope "facks_sent";
   }
@@ -85,15 +89,33 @@ let egress t (pkt : Packet.t) ~inject =
         && Packet.wire_size pkt + 8 <= t.config.Config.mtu + 54
         (* 54 = simulator link-layer framing; the MTU bounds IP payload *)
       in
+      let trace_attach (carrier : Packet.t) =
+        if Obs.Trace.enabled t.tracer then
+          Obs.Trace.emit t.tracer ~now:(Eventsim.Engine.now t.engine)
+            (Obs.Trace.Pack_attach
+               {
+                 flow = data_key;
+                 pkt = carrier.Packet.id;
+                 total = flow.total_bytes;
+                 marked = flow.marked_bytes;
+               })
+      in
       if fits then begin
         Packet.set_option pkt pack;
-        Obs.Metrics.incr t.m_packs_sent
+        Obs.Metrics.incr t.m_packs_sent;
+        trace_attach pkt
       end
       else begin
         (* TSO would smear an oversized PACK across segments, corrupting
            the counters — send a dedicated FACK instead (§3.2). *)
         let fack = Packet.make ~key:pkt.Packet.key ~options:[ pack ] ~payload:0 () in
         Obs.Metrics.incr t.m_facks_sent;
+        if Obs.Trace.enabled t.tracer then
+          Obs.Trace.emit t.tracer ~now:(Eventsim.Engine.now t.engine)
+            (Obs.Trace.created ~kind:"fack"
+               ~node:(Printf.sprintf "host%d" pkt.Packet.key.Flow_key.src_ip)
+               fack);
+        trace_attach fack;
         inject fack
       end;
       if pkt.Packet.fin then Vswitch.Flow_table.mark_closed t.table data_key

@@ -9,7 +9,10 @@
 
 type t
 
-val create : ?metrics:Obs.Metrics.t -> Eventsim.Engine.t -> Config.t -> t
+val create : ?metrics:Obs.Metrics.t -> ?tracer:Obs.Trace.t -> Eventsim.Engine.t -> Config.t -> t
+(** [tracer] (default: the ambient {!Obs.Runtime.tracer}) receives a
+    [Pack_attach] event per PACK carrier and a [Created] event per
+    injected FACK. *)
 
 val ingress :
   t -> Dcpkt.Packet.t -> inject:(Dcpkt.Packet.t -> unit) -> Vswitch.Datapath.verdict

@@ -186,9 +186,16 @@ and assist_retransmit t flow =
     Obs.Metrics.incr t.m_retransmit_assists;
     let window = Stdlib.max t.config.Config.min_window_bytes flow.wnd in
     for _ = 1 to 3 do
-      inject
-        (Packet.make ~key:(Flow_key.reverse flow.key) ~ack:flow.snd_una ~has_ack:true
-           ~rwnd_field:(window_field flow window) ~payload:0 ())
+      let pkt =
+        Packet.make ~key:(Flow_key.reverse flow.key) ~ack:flow.snd_una ~has_ack:true
+          ~rwnd_field:(window_field flow window) ~payload:0 ()
+      in
+      if Obs.Trace.enabled t.tracer then
+        Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+          (Obs.Trace.created ~kind:"assist_ack"
+             ~node:(Printf.sprintf "host%d" flow.key.Flow_key.src_ip)
+             pkt);
+      inject pkt
     done
   | Some _ | None -> ()
 
@@ -243,7 +250,12 @@ let egress t (pkt : Packet.t) ~inject:_ =
         if Obs.Trace.enabled t.tracer then
           Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
             (Obs.Trace.Policer_drop
-               { flow = flow.key; seq = pkt.Packet.seq; window = enforced_window t flow });
+               {
+                 flow = flow.key;
+                 pkt = pkt.Packet.id;
+                 seq = pkt.Packet.seq;
+                 window = enforced_window t flow;
+               });
         Log.debug (fun m ->
             m "flow %a: policed packet seq=%d beyond window %d" Flow_key.pp flow.key
               pkt.Packet.seq (enforced_window t flow));
@@ -383,7 +395,7 @@ let rewrite_rwnd t flow (pkt : Packet.t) =
       Obs.Metrics.incr t.m_rwnd_rewrites;
       if Obs.Trace.enabled t.tracer then
         Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
-          (Obs.Trace.Rwnd_rewrite { flow = flow.key; window; field })
+          (Obs.Trace.Rwnd_rewrite { flow = flow.key; pkt = pkt.Packet.id; window; field })
     end
   end
 
@@ -483,6 +495,11 @@ let window_update t key ~to_vm =
       Packet.make ~key:(Flow_key.reverse key) ~ack:flow.snd_una ~has_ack:true
         ~rwnd_field:(window_field flow window) ~payload:0 ()
     in
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.created ~kind:"window_update"
+           ~node:(Printf.sprintf "host%d" key.Flow_key.src_ip)
+           pkt);
     to_vm pkt;
     true
 

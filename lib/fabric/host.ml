@@ -4,22 +4,51 @@ module Flow_key = Dcpkt.Flow_key
 
 type t = {
   ip : int;
+  name : string;
   engine : Engine.t;
   datapath : Vswitch.Datapath.t;
   acdc : Acdc.t option;
   endpoints : Tcp.Endpoint.t Flow_key.Table.t; (* keyed by the emitting direction *)
+  tracer : Obs.Trace.t;
+  pcap : Obs.Pcap.t;
+  vm_iface : string;
   mutable nic : Packet.t -> unit;
   mutable next_port : int;
   mutable no_route_drops : int;
 }
 
+(* The VM-edge tap: both directions of the virtual NIC, the vantage point
+   of tcpdump inside the guest. *)
+let vm_tap t pkt =
+  if Obs.Pcap.enabled t.pcap then
+    Obs.Pcap.capture t.pcap ~iface:t.vm_iface ~now:(Engine.now t.engine) pkt
+
 let demux t (pkt : Packet.t) =
+  vm_tap t pkt;
   match Flow_key.Table.find_opt t.endpoints (Flow_key.reverse pkt.Packet.key) with
-  | Some endpoint -> Tcp.Endpoint.input endpoint pkt
-  | None -> t.no_route_drops <- t.no_route_drops + 1
+  | Some endpoint ->
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.Delivered { node = t.name; pkt = pkt.Packet.id });
+    Tcp.Endpoint.input endpoint pkt
+  | None ->
+    t.no_route_drops <- t.no_route_drops + 1;
+    if Obs.Trace.enabled t.tracer then
+      Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+        (Obs.Trace.Drop
+           {
+             node = t.name;
+             port = -1;
+             pkt = pkt.Packet.id;
+             size = Packet.wire_size pkt;
+             reason = Obs.Trace.No_endpoint;
+           })
 
 let create engine ~ip ?acdc () =
-  let datapath = Vswitch.Datapath.create () in
+  let name = Printf.sprintf "host%d" ip in
+  let datapath =
+    Vswitch.Datapath.create ~name ~clock:(fun () -> Engine.now engine) ()
+  in
   let acdc =
     Option.map
       (fun config ->
@@ -31,10 +60,14 @@ let create engine ~ip ?acdc () =
   let t =
     {
       ip;
+      name;
       engine;
       datapath;
       acdc;
       endpoints = Flow_key.Table.create 64;
+      tracer = Obs.Runtime.tracer ();
+      pcap = Obs.Runtime.pcap ();
+      vm_iface = name ^ ".vm";
       nic = ignore;
       next_port = 10_000;
       no_route_drops = 0;
@@ -49,7 +82,9 @@ let datapath t = t.datapath
 let acdc t = t.acdc
 let set_nic t f = t.nic <- f
 
-let egress t pkt = Vswitch.Datapath.process_egress t.datapath pkt ~emit:(fun p -> t.nic p)
+let egress t pkt =
+  vm_tap t pkt;
+  Vswitch.Datapath.process_egress t.datapath pkt ~emit:(fun p -> t.nic p)
 
 let deliver t pkt = Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:(fun p -> demux t p)
 

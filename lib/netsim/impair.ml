@@ -105,6 +105,9 @@ type t = {
   rng : Rng.t;
   config : config;
   deliver : Packet.t -> unit;
+  tracer : Obs.Trace.t;
+  pcap : Obs.Pcap.t;
+  link : string;
   c_offered : Metrics.counter;
   c_lost : Metrics.counter;
   c_duplicated : Metrics.counter;
@@ -113,7 +116,7 @@ type t = {
   c_reordered : Metrics.counter;
 }
 
-let create ?metrics engine ?(name = "link") ~rng ~config ~deliver () =
+let create ?metrics ?tracer ?pcap engine ?(name = "link") ~rng ~config ~deliver () =
   let metrics = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
   let scope = Metrics.scope metrics (Printf.sprintf "impair.%s" name) in
   {
@@ -121,6 +124,9 @@ let create ?metrics engine ?(name = "link") ~rng ~config ~deliver () =
     rng;
     config;
     deliver;
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
+    pcap = (match pcap with Some p -> p | None -> Obs.Runtime.pcap ());
+    link = Printf.sprintf "impair.%s" name;
     c_offered = Metrics.scope_counter scope "offered";
     c_lost = Metrics.scope_counter scope "lost";
     c_duplicated = Metrics.scope_counter scope "duplicated";
@@ -142,32 +148,49 @@ let sample_delay rng bound = if bound <= 0 then Time_ns.zero else Rng.int rng bo
 
 let hit rng p = p > 0. && Rng.float rng 1.0 < p
 
+let trace t (pkt : Packet.t) action =
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+      (Obs.Trace.Impaired { link = t.link; pkt = pkt.Packet.id; action })
+
 let emit t pkt =
   let delay = sample_delay t.rng t.config.jitter in
   let delay =
     if hit t.rng t.config.reorder then begin
       Metrics.incr t.c_reordered;
+      trace t pkt Obs.Trace.Imp_reordered;
       Time_ns.add delay (sample_delay t.rng t.config.reorder_delay)
     end
     else delay
   in
+  (* Capture frames the link actually carries forward — lost and corrupted
+     frames never reach this point, matching what a receiver-side tcpdump
+     would see. *)
+  if Obs.Pcap.enabled t.pcap then
+    Obs.Pcap.capture t.pcap ~iface:t.link ~now:(Engine.now t.engine) pkt;
   if delay = Time_ns.zero then t.deliver pkt
   else Engine.schedule_after t.engine ~delay (fun () -> t.deliver pkt)
 
 let deliver t pkt =
   Metrics.incr t.c_offered;
-  if hit t.rng t.config.loss then Metrics.incr t.c_lost
-  else if hit t.rng t.config.corrupt then
+  if hit t.rng t.config.loss then begin
+    Metrics.incr t.c_lost;
+    trace t pkt Obs.Trace.Imp_lost
+  end
+  else if hit t.rng t.config.corrupt then begin
     (* A corrupted frame fails its FCS and is dropped by the receiving NIC
        before any protocol layer sees it — same observable effect as loss,
        but counted separately so reports can attribute it. *)
-    Metrics.incr t.c_corrupted
+    Metrics.incr t.c_corrupted;
+    trace t pkt Obs.Trace.Imp_corrupted
+  end
   else begin
     (* Targeted option corruption: the frame survives but AC/DC's
        piggy-backed feedback does not (§3.2's pathology). *)
     (match Packet.pack_info pkt with
     | Some _ when hit t.rng t.config.strip_pack ->
       Metrics.incr t.c_pack_stripped;
+      trace t pkt Obs.Trace.Imp_pack_stripped;
       Packet.remove_pack pkt
     | Some _ | None -> ());
     if hit t.rng t.config.dup then begin
@@ -175,15 +198,17 @@ let deliver t pkt =
       (* The duplicate is an independent frame: it must not alias the
          original's mutable fields, and it takes its own jitter/reorder
          draw so the two copies can land in either order. *)
-      emit t (Packet.copy pkt)
+      let copy = Packet.copy pkt in
+      trace t pkt (Obs.Trace.Imp_duplicated { copy = copy.Packet.id });
+      emit t copy
     end;
     emit t pkt
   end
 
-let wrap ?metrics engine ?name ~rng ~config inner =
+let wrap ?metrics ?tracer ?pcap engine ?name ~rng ~config inner =
   if is_clean config then inner
   else
-    let t = create ?metrics engine ?name ~rng ~config ~deliver:inner () in
+    let t = create ?metrics ?tracer ?pcap engine ?name ~rng ~config ~deliver:inner () in
     fun pkt -> deliver t pkt
 
 (* Ambient default, mirroring [Obs.Runtime]: the CLI installs a spec

@@ -12,6 +12,8 @@ type t = {
      an option rewrite while queued must not unbalance the byte books. *)
   queue : (Packet.t * int) Queue.t;
   tracer : Obs.Trace.t;
+  pcap : Obs.Pcap.t;
+  iface : string;
   node : string;
   port : int;
   mutable queued_bytes : int;
@@ -19,7 +21,8 @@ type t = {
   mutable on_tx_complete : Packet.t -> size:int -> unit;
 }
 
-let create ?tracer ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jitter ~deliver =
+let create ?tracer ?pcap ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jitter
+    ~deliver =
   assert (rate_bps > 0);
   {
     engine;
@@ -29,6 +32,8 @@ let create ?tracer ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jit
     deliver;
     queue = Queue.create ();
     tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
+    pcap = (match pcap with Some p -> p | None -> Obs.Runtime.pcap ());
+    iface = Printf.sprintf "%s:%d" node port;
     node;
     port;
     queued_bytes = 0;
@@ -62,6 +67,11 @@ let rec start_next t =
                size;
                qbytes = t.queued_bytes;
              });
+      (* The capture tap sits at serialization time — the moment the frame
+         hits the wire — so the ECN/option state in the capture is what
+         downstream nodes will actually see. *)
+      if Obs.Pcap.enabled t.pcap then
+        Obs.Pcap.capture t.pcap ~iface:t.iface ~now:(Engine.now t.engine) pkt;
       t.on_tx_complete pkt ~size;
       let delay =
         match t.jitter with

@@ -9,6 +9,7 @@ type t
 
 val create :
   ?tracer:Obs.Trace.t ->
+  ?pcap:Obs.Pcap.t ->
   ?node:string ->
   ?port:int ->
   Eventsim.Engine.t ->
@@ -23,7 +24,11 @@ val create :
 
     [tracer] (default: the ambient {!Obs.Runtime.tracer} at creation time)
     receives an [Enqueue] event per admitted packet and a [Dequeue] event
-    when a packet finishes serializing, labelled [node]:[port]. *)
+    when a packet finishes serializing, labelled [node]:[port].
+
+    [pcap] (default: the ambient {!Obs.Runtime.pcap}) captures each frame
+    on interface ["node:port"] at the moment it finishes serializing, so
+    the capture shows the header state downstream nodes will see. *)
 
 val enqueue : ?size:int -> t -> Dcpkt.Packet.t -> unit
 (** [size] (default: the packet's current {!Dcpkt.Packet.wire_size}) is the

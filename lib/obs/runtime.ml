@@ -27,6 +27,29 @@ let trace_to_file path =
 
 let reset_metrics () = Metrics.reset_all the_metrics
 
+let the_pcap = ref Pcap.null
+
+let pcap_file = ref None
+
+let pcap () = !the_pcap
+
+let set_pcap p = the_pcap := p
+
+let close_pcap () =
+  (match !pcap_file with
+  | Some oc ->
+    flush oc;
+    close_out oc;
+    pcap_file := None
+  | None -> ());
+  the_pcap := Pcap.null
+
+let pcap_to_file path =
+  close_pcap ();
+  let oc = open_out_bin path in
+  pcap_file := Some oc;
+  the_pcap := Pcap.create ~format:(Pcap.format_of_path path) ~write:(output_string oc)
+
 let timeseries_sink = ref None
 
 let set_timeseries_sink ~dir = timeseries_sink := Some dir

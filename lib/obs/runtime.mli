@@ -32,6 +32,25 @@ val close_trace : unit -> unit
 
 val reset_metrics : unit -> unit
 
+(** {2 Packet capture sink}
+
+    Like the tracer, the pcap sink is ambient: capture taps (transmit
+    queues, impaired links, vSwitch edges) pick it up at construction, so
+    a driver that wants a capture installs one before building the
+    topology ([acdc_expt --pcap FILE] does). *)
+
+val pcap : unit -> Pcap.t
+val set_pcap : Pcap.t -> unit
+
+val pcap_to_file : string -> unit
+(** Open [path] (truncating, binary) and stream a capture to it; the
+    format follows {!Pcap.format_of_path}.  Replaces any sink previously
+    installed by [pcap_to_file]. *)
+
+val close_pcap : unit -> unit
+(** Flush and close a [pcap_to_file] sink and reset the sink to
+    {!Pcap.null}.  No-op otherwise. *)
+
 (** {2 Time-series export sink}
 
     Like the tracer, the time-series sink is ambient: a driver that wants

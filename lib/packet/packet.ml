@@ -111,6 +111,247 @@ let sack_blocks t =
   | Some blocks -> blocks
   | None -> []
 
+(* ------------------------------------------------------------------ *)
+(* Wire serialization: Ethernet / IPv4 / TCP                           *)
+
+(* RFC 4727 experimental TCP option kind carrying the PACK counters.
+   The paper budgets 8 bytes for the option (see [option_bytes]), which
+   after kind and length leaves 6: two 24-bit cumulative byte counters,
+   encoded modulo 2^24.  The AC/DC modules only ever consume counter
+   *deltas* per RTT (far below 16 MB), so the wrap is harmless, and a
+   wrapped value round-trips byte-identically through [of_wire]. *)
+let pack_option_kind = 253
+
+let ecn_bits = function Not_ect -> 0 | Ect1 -> 1 | Ect0 -> 2 | Ce -> 3
+
+let ecn_of_bits = function 0 -> Not_ect | 1 -> Ect1 | 2 -> Ect0 | _ -> Ce
+
+(* Simulator host ids are small integers; on the wire they become
+   10.x.y.z addresses (low 24 bits) and locally-administered MACs, so a
+   capture opens in Wireshark with sensible-looking endpoints. *)
+let ip_addr i = 0x0A000000 lor (i land 0xFFFFFF)
+
+let set_mac b off i =
+  Bytes.set_uint8 b off 0x02;
+  Bytes.set_uint8 b (off + 1) 0x00;
+  Bytes.set_uint8 b (off + 2) 0x00;
+  Bytes.set_uint8 b (off + 3) ((i lsr 16) land 0xFF);
+  Bytes.set_uint8 b (off + 4) ((i lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 5) (i land 0xFF)
+
+let set16 b off v = Bytes.set_uint16_be b off (v land 0xFFFF)
+
+let set32 b off v = Bytes.set_int32_be b off (Int32.of_int (v land 0xFFFFFFFF))
+
+let get32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xFFFFFFFF
+
+(* One's-complement 16-bit sum over [len] bytes ([len] even here: IP and
+   TCP headers are 4-byte multiples). *)
+let ones_sum init b ~off ~len =
+  let sum = ref init in
+  let i = ref 0 in
+  while !i < len do
+    sum := !sum + Bytes.get_uint16_be b (off + !i);
+    i := !i + 2
+  done;
+  !sum
+
+let fold_checksum sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+(* TCP checksum as if the [payload] bytes were all zero: the capture
+   layer never materializes payload (frames are snapped at the header),
+   so zero-fill is the only deterministic choice, and [of_wire] verifies
+   against the same convention.  The payload still contributes through
+   the pseudo-header length. *)
+let tcp_checksum b ~tcp_off ~tcp_len ~payload =
+  let pseudo = Bytes.create 12 in
+  Bytes.blit b (tcp_off - 8) pseudo 0 8;
+  (* src + dst IPs *)
+  Bytes.set_uint8 pseudo 8 0;
+  Bytes.set_uint8 pseudo 9 6;
+  set16 pseudo 10 (tcp_len + payload);
+  fold_checksum (ones_sum (ones_sum 0 pseudo ~off:0 ~len:12) b ~off:tcp_off ~len:tcp_len)
+
+let encode_options options =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun o ->
+      match o with
+      | Mss v ->
+        Buffer.add_uint8 buf 2;
+        Buffer.add_uint8 buf 4;
+        Buffer.add_uint16_be buf (v land 0xFFFF)
+      | Window_scale s ->
+        Buffer.add_uint8 buf 3;
+        Buffer.add_uint8 buf 3;
+        Buffer.add_uint8 buf (s land 0xFF)
+      | Pack { total_bytes; marked_bytes } ->
+        Buffer.add_uint8 buf pack_option_kind;
+        Buffer.add_uint8 buf 8;
+        let add24 v =
+          Buffer.add_uint8 buf ((v lsr 16) land 0xFF);
+          Buffer.add_uint16_be buf (v land 0xFFFF)
+        in
+        add24 total_bytes;
+        add24 marked_bytes
+      | Sack blocks ->
+        Buffer.add_uint8 buf 5;
+        Buffer.add_uint8 buf (2 + (8 * List.length blocks));
+        List.iter
+          (fun (s, e) ->
+            Buffer.add_int32_be buf (Int32.of_int (s land 0xFFFFFFFF));
+            Buffer.add_int32_be buf (Int32.of_int (e land 0xFFFFFFFF)))
+          blocks)
+    options;
+  (* Pad to a 32-bit boundary with end-of-option-list bytes so the data
+     offset is expressible; the model's [option_bytes] accounting stays
+     unpadded, exactly like an skb's truesize vs. wire bytes. *)
+  while Buffer.length buf mod 4 <> 0 do
+    Buffer.add_uint8 buf 0
+  done;
+  Buffer.contents buf
+
+let to_wire t =
+  let opts = encode_options t.options in
+  let tcp_len = 20 + String.length opts in
+  let ip_total = 20 + tcp_len + t.payload in
+  if ip_total > 0xFFFF then
+    invalid_arg "Packet.to_wire: frame exceeds the 65535-byte IPv4 total length";
+  let b = Bytes.make (14 + 20 + tcp_len) '\000' in
+  (* Ethernet *)
+  set_mac b 0 t.key.Flow_key.dst_ip;
+  set_mac b 6 t.key.Flow_key.src_ip;
+  set16 b 12 0x0800;
+  (* IPv4 *)
+  Bytes.set_uint8 b 14 0x45;
+  Bytes.set_uint8 b 15 (ecn_bits t.ecn);
+  set16 b 16 ip_total;
+  set16 b 18 t.id;
+  set16 b 20 0x4000 (* DF *);
+  Bytes.set_uint8 b 22 64;
+  Bytes.set_uint8 b 23 6;
+  set32 b 26 (ip_addr t.key.Flow_key.src_ip);
+  set32 b 30 (ip_addr t.key.Flow_key.dst_ip);
+  set16 b 24 (fold_checksum (ones_sum 0 b ~off:14 ~len:20));
+  (* TCP *)
+  set16 b 34 t.key.Flow_key.src_port;
+  set16 b 36 t.key.Flow_key.dst_port;
+  set32 b 38 t.seq;
+  set32 b 42 t.ack;
+  (* Data offset; the low reserved bit carries AC/DC's [vm_ect] (§3.2's
+     "reserved bit in the TCP header"). *)
+  Bytes.set_uint8 b 46 (((tcp_len / 4) lsl 4) lor if t.vm_ect then 1 else 0);
+  Bytes.set_uint8 b 47
+    ((if t.cwr then 0x80 else 0)
+    lor (if t.ece then 0x40 else 0)
+    lor (if t.has_ack then 0x10 else 0)
+    lor (if t.rst then 0x04 else 0)
+    lor (if t.syn then 0x02 else 0)
+    lor if t.fin then 0x01 else 0);
+  set16 b 48 t.rwnd_field;
+  Bytes.blit_string opts 0 b 54 (String.length opts);
+  set16 b 50 (tcp_checksum b ~tcp_off:34 ~tcp_len ~payload:t.payload);
+  Bytes.unsafe_to_string b
+
+exception Wire of string
+
+let decode_options b ~off ~len =
+  let stop = off + len in
+  let rec loop acc pos =
+    if pos >= stop then List.rev acc
+    else
+      match Bytes.get_uint8 b pos with
+      | 0 -> List.rev acc (* end of option list: rest is padding *)
+      | 1 -> loop acc (pos + 1) (* no-op *)
+      | kind ->
+        if pos + 2 > stop then raise (Wire "truncated TCP option");
+        let olen = Bytes.get_uint8 b (pos + 1) in
+        if olen < 2 || pos + olen > stop then raise (Wire "bad TCP option length");
+        let opt =
+          if kind = 2 then begin
+            if olen <> 4 then raise (Wire "bad MSS option length");
+            Mss (Bytes.get_uint16_be b (pos + 2))
+          end
+          else if kind = 3 then begin
+            if olen <> 3 then raise (Wire "bad window-scale option length");
+            Window_scale (Bytes.get_uint8 b (pos + 2))
+          end
+          else if kind = 5 then begin
+            if olen < 10 || (olen - 2) mod 8 <> 0 then raise (Wire "bad SACK option length");
+            let blocks =
+              List.init
+                ((olen - 2) / 8)
+                (fun i -> (get32 b (pos + 2 + (8 * i)), get32 b (pos + 6 + (8 * i))))
+            in
+            Sack blocks
+          end
+          else if kind = pack_option_kind then begin
+            if olen <> 8 then raise (Wire "bad PACK option length");
+            let get24 p = (Bytes.get_uint8 b p lsl 16) lor Bytes.get_uint16_be b (p + 1) in
+            Pack { total_bytes = get24 (pos + 2); marked_bytes = get24 (pos + 5) }
+          end
+          else raise (Wire (Printf.sprintf "unknown TCP option kind %d" kind))
+        in
+        loop (opt :: acc) (pos + olen)
+  in
+  loop [] off
+
+let of_wire s =
+  try
+    let b = Bytes.unsafe_of_string s in
+    if String.length s < 54 then raise (Wire "frame shorter than minimal headers");
+    if Bytes.get_uint16_be b 12 <> 0x0800 then raise (Wire "not an IPv4 ethertype");
+    if Bytes.get_uint8 b 14 <> 0x45 then raise (Wire "not IPv4 without IP options");
+    if Bytes.get_uint8 b 23 <> 6 then raise (Wire "not TCP");
+    if fold_checksum (ones_sum 0 b ~off:14 ~len:20) <> 0 then
+      raise (Wire "IPv4 header checksum mismatch");
+    let ip_total = Bytes.get_uint16_be b 16 in
+    let tcp_len = 4 * (Bytes.get_uint8 b 46 lsr 4) in
+    if tcp_len < 20 then raise (Wire "TCP data offset below 5 words");
+    if String.length s < 34 + tcp_len then raise (Wire "frame truncated inside TCP header");
+    let payload = ip_total - 20 - tcp_len in
+    if payload < 0 then raise (Wire "IP total length below header length");
+    let expected = Bytes.get_uint16_be b 50 in
+    Bytes.set_uint16_be b 50 0;
+    let computed = tcp_checksum b ~tcp_off:34 ~tcp_len ~payload in
+    Bytes.set_uint16_be b 50 expected;
+    if computed <> expected then raise (Wire "TCP checksum mismatch");
+    let key =
+      Flow_key.make
+        ~src_ip:(get32 b 26 land 0xFFFFFF)
+        ~dst_ip:(get32 b 30 land 0xFFFFFF)
+        ~src_port:(Bytes.get_uint16_be b 34)
+        ~dst_port:(Bytes.get_uint16_be b 36)
+    in
+    let flags = Bytes.get_uint8 b 47 in
+    Ok
+      {
+        (* The wire carries the low 16 bits of the simulator id in the
+           IPv4 identification field; decoding must not mint fresh ids. *)
+        id = Bytes.get_uint16_be b 18;
+        key;
+        seq = get32 b 38;
+        ack = get32 b 42;
+        syn = flags land 0x02 <> 0;
+        fin = flags land 0x01 <> 0;
+        rst = flags land 0x04 <> 0;
+        has_ack = flags land 0x10 <> 0;
+        ece = flags land 0x40 <> 0;
+        cwr = flags land 0x80 <> 0;
+        ecn = ecn_of_bits (Bytes.get_uint8 b 15 land 0x3);
+        vm_ect = Bytes.get_uint8 b 46 land 0x1 <> 0;
+        rwnd_field = Bytes.get_uint16_be b 48;
+        options = decode_options b ~off:54 ~len:(tcp_len - 20);
+        payload;
+        sent_at = Eventsim.Time_ns.zero;
+      }
+  with Wire msg -> Error msg
+
 let pp_ecn fmt = function
   | Not_ect -> Format.pp_print_string fmt "-"
   | Ect0 -> Format.pp_print_string fmt "ECT0"

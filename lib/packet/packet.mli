@@ -93,4 +93,36 @@ val sack_blocks : t -> (int * int) list
 val pack_info : t -> (int * int) option
 (** [(total_bytes, marked_bytes)] from a PACK option, if present. *)
 
+(** {2 Wire serialization}
+
+    A deterministic Ethernet/IPv4/TCP rendering of the segment, so a
+    simulated run can be captured into a pcap file (see [Obs.Pcap]) and
+    opened in Wireshark/tshark, and so captures can be re-read without
+    external tools. *)
+
+val to_wire : t -> string
+(** The frame's headers as raw bytes: 14-byte Ethernet (locally
+    administered MACs derived from the host ids), 20-byte IPv4 (ECN
+    codepoint in the TOS byte, the low 16 bits of [id] in the
+    identification field, valid header checksum), and the TCP header with
+    all options encoded — MSS (kind 2), window scale (kind 3), SACK
+    (kind 5) and PACK as the RFC 4727 experimental kind 253 carrying two
+    24-bit cumulative counters.  [vm_ect] rides in the low TCP reserved
+    bit.  Options are padded to a 32-bit boundary on the wire (the
+    model's [header_bytes]/[wire_size] accounting stays unpadded).
+
+    Payload bytes are never materialized: captures snap frames at the
+    header, recording [wire_size] as the original length.  The TCP
+    checksum is computed as if the payload were zero-filled.
+
+    @raise Invalid_argument if headers + payload exceed 65535 bytes. *)
+
+val of_wire : string -> (t, string) result
+(** Parse bytes produced by {!to_wire} (a header-snapped frame; trailing
+    payload bytes, if present, are ignored).  Verifies both checksums and
+    every option's framing.  The result's [id] is the 16-bit wire
+    identification field — decoding does not consume simulator ids — and
+    [sent_at] is zero.  [to_wire (Result.get_ok (of_wire s))] reproduces
+    [s] byte-for-byte for any frame [to_wire] emitted. *)
+
 val pp : Format.formatter -> t -> unit

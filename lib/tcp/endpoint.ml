@@ -186,6 +186,9 @@ let advertised_window_field t =
 
 let emit t pkt =
   pkt.Packet.sent_at <- Engine.now t.engine;
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
+      (Obs.Trace.created ~node:(Printf.sprintf "host%d" t.key.Dcpkt.Flow_key.src_ip) pkt);
   t.out pkt
 
 let make_ack t =

@@ -11,17 +11,24 @@ let no_op name =
 
 type t = {
   mutable processors : processor list; (* registration order *)
+  name : string;
+  clock : unit -> Eventsim.Time_ns.t;
+  tracer : Obs.Trace.t;
   m_egress_packets : Obs.Metrics.counter;
   m_ingress_packets : Obs.Metrics.counter;
   m_egress_drops : Obs.Metrics.counter;
   m_ingress_drops : Obs.Metrics.counter;
 }
 
-let create ?metrics () =
+let create ?metrics ?(name = "vswitch") ?(clock = fun () -> Eventsim.Time_ns.zero) ?tracer ()
+    =
   let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
   let scope = Obs.Metrics.scope registry "vswitch" in
   {
     processors = [];
+    name;
+    clock;
+    tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
     m_egress_packets = Obs.Metrics.scope_counter scope "egress_packets";
     m_ingress_packets = Obs.Metrics.scope_counter scope "ingress_packets";
     m_egress_drops = Obs.Metrics.scope_counter scope "egress_drops";
@@ -37,17 +44,26 @@ let run_chain processors pkt ~inject ~select =
   in
   loop processors
 
+let trace_drop t (pkt : Dcpkt.Packet.t) ~egress =
+  if Obs.Trace.enabled t.tracer then
+    Obs.Trace.emit t.tracer ~now:(t.clock ())
+      (Obs.Trace.Vswitch_drop { node = t.name; pkt = pkt.Dcpkt.Packet.id; egress })
+
 let process_egress t pkt ~emit =
   Obs.Metrics.incr t.m_egress_packets;
   match run_chain t.processors pkt ~inject:emit ~select:(fun p -> p.egress) with
   | Pass -> emit pkt
-  | Drop -> Obs.Metrics.incr t.m_egress_drops
+  | Drop ->
+    Obs.Metrics.incr t.m_egress_drops;
+    trace_drop t pkt ~egress:true
 
 let process_ingress t pkt ~deliver =
   Obs.Metrics.incr t.m_ingress_packets;
   match run_chain t.processors pkt ~inject:deliver ~select:(fun p -> p.ingress) with
   | Pass -> deliver pkt
-  | Drop -> Obs.Metrics.incr t.m_ingress_drops
+  | Drop ->
+    Obs.Metrics.incr t.m_ingress_drops;
+    trace_drop t pkt ~egress:false
 
 let egress_packets t = Obs.Metrics.value t.m_egress_packets
 let ingress_packets t = Obs.Metrics.value t.m_ingress_packets

@@ -146,6 +146,157 @@ let test_jsonl_determinism () =
     (Digest.to_hex (Digest.string b))
 
 (* ------------------------------------------------------------------ *)
+(* Trace events: JSONL round-trip and filters                          *)
+
+let flow = Dcpkt.Flow_key.make ~src_ip:1 ~dst_ip:6 ~src_port:40000 ~dst_port:5001
+
+(* One value per constructor, plus one per [drop_reason] and one per
+   [impair_action] — extend this list when the event type grows. *)
+let all_events =
+  let drop reason = Trace.Drop { node = "tor0"; port = 2; pkt = 1; size = 1500; reason } in
+  let imp action = Trace.Impaired { link = "impair.host0.up"; pkt = 1; action } in
+  [
+    Trace.Created { node = "host1"; pkt = 1; flow; size = 1500; kind = "data" };
+    Trace.Enqueue { node = "tor0"; port = 2; pkt = 1; size = 1500; qbytes = 3000 };
+    Trace.Dequeue { node = "tor0"; port = 2; pkt = 1; size = 1500; qbytes = 1500 };
+    drop Trace.No_route;
+    drop Trace.Buffer_full;
+    drop Trace.Over_threshold;
+    drop Trace.Wred;
+    Trace.Drop { node = "host6"; port = -1; pkt = 1; size = 1500; reason = Trace.No_endpoint };
+    Trace.Ce_mark { node = "tor0"; port = 2; pkt = 1; qbytes = 90000 };
+    imp Trace.Imp_lost;
+    imp Trace.Imp_corrupted;
+    imp (Trace.Imp_duplicated { copy = 42 });
+    imp Trace.Imp_pack_stripped;
+    imp Trace.Imp_reordered;
+    Trace.Vswitch_drop { node = "host1"; pkt = 1; egress = true };
+    Trace.Vswitch_drop { node = "host1"; pkt = 1; egress = false };
+    Trace.Delivered { node = "host6"; pkt = 1 };
+    Trace.Pack_attach { flow; pkt = 9; total = 123456; marked = 789 };
+    Trace.Rwnd_rewrite { flow; pkt = 9; window = 65536; field = 0x100 };
+    Trace.Alpha_update { flow; alpha = 0.0625; fraction = 0.5 };
+    Trace.Policer_drop { flow; pkt = 9; seq = 1000; window = 20000 };
+    Trace.Dupack { flow; ack = 1000; count = 3 };
+    Trace.Rto_fire { flow; inferred = true; count = 2 };
+    Trace.Rto_fire { flow; inferred = false; count = 1 };
+  ]
+
+let test_event_json_roundtrip () =
+  List.iteri
+    (fun i ev ->
+      let now = Time_ns.us (i + 1) in
+      let line = Json.to_string (Trace.event_to_json ~now ev) in
+      match Json.of_string line with
+      | Error msg -> Alcotest.fail (line ^ ": " ^ msg)
+      | Ok json -> (
+        match Trace.event_of_json json with
+        | Error msg -> Alcotest.fail (line ^ ": " ^ msg)
+        | Ok (now', ev') ->
+          check_int (Trace.kind_of_event ev ^ ": timestamp") now now';
+          Alcotest.(check bool) (Trace.kind_of_event ev ^ ": event") true (ev = ev')))
+    all_events
+
+let test_event_json_rejects () =
+  List.iter
+    (fun s ->
+      let r = Result.bind (Json.of_string s) Trace.event_of_json in
+      Alcotest.(check bool) (s ^ " rejected") true (Result.is_error r))
+    [
+      {|{"t":1}|} (* no "ev" *);
+      {|{"t":1,"ev":"warp"}|} (* unknown kind *);
+      {|{"ev":"delivered","node":"h"}|} (* no timestamp *);
+      {|{"t":1,"ev":"drop","node":"s","port":0,"pkt":1,"size":9,"reason":"gremlins"}|};
+      {|[1,2]|} (* not an object *);
+    ]
+
+let kinds_seen tracer = List.map (fun (_, ev) -> Trace.kind_of_event ev) (Trace.events tracer)
+
+let test_kind_filter () =
+  let ring = Trace.ring ~capacity:64 () in
+  let t = Trace.kind_filter ~kinds:[ "drop"; "ce_mark" ] ring in
+  Alcotest.(check bool) "filter over null collapses" false
+    (Trace.enabled (Trace.kind_filter ~kinds:[ "drop" ] Trace.null));
+  List.iteri (fun i ev -> Trace.emit t ~now:(Time_ns.us i) ev) all_events;
+  Alcotest.(check (list string))
+    "only requested kinds pass"
+    [ "drop"; "drop"; "drop"; "drop"; "drop"; "ce_mark" ]
+    (kinds_seen ring)
+
+let test_flow_filter () =
+  let other = Dcpkt.Flow_key.make ~src_ip:2 ~dst_ip:7 ~src_port:41000 ~dst_port:5001 in
+  let ring = Trace.ring ~capacity:64 () in
+  let t = Trace.flow_filter ~flows:[ flow ] ring in
+  let created ~pkt ~flow = Trace.Created { node = "h"; pkt; flow; size = 100; kind = "data" } in
+  let emit = Trace.emit t ~now:Time_ns.zero in
+  emit (created ~pkt:1 ~flow);
+  emit (created ~pkt:2 ~flow:other);
+  (* Events that carry only a packet id must resolve through the state
+     learned from Created. *)
+  emit (Trace.Enqueue { node = "s"; port = 0; pkt = 1; size = 100; qbytes = 100 });
+  emit (Trace.Enqueue { node = "s"; port = 0; pkt = 2; size = 100; qbytes = 100 });
+  (* Duplicates inherit membership from the packet they copy. *)
+  emit (Trace.Impaired { link = "l"; pkt = 1; action = Trace.Imp_duplicated { copy = 50 } });
+  emit (Trace.Delivered { node = "h"; pkt = 50 });
+  emit (Trace.Delivered { node = "h"; pkt = 2 });
+  (* The reverse direction belongs to the same flow. *)
+  emit (created ~pkt:3 ~flow:(Dcpkt.Flow_key.reverse flow));
+  emit (Trace.Dupack { flow = other; ack = 1; count = 1 });
+  emit (Trace.Dupack { flow = Dcpkt.Flow_key.reverse flow; ack = 1; count = 1 });
+  Alcotest.(check (list string))
+    "matching flow only, through ids, copies and both directions"
+    [ "created"; "enqueue"; "impaired"; "delivered"; "created"; "dupack" ]
+    (kinds_seen ring)
+
+let test_flow_of_spec () =
+  let ok s =
+    match Trace.flow_of_spec s with
+    | Ok k -> k
+    | Error msg -> Alcotest.fail (s ^ ": " ^ msg)
+  in
+  Alcotest.(check bool) "dash form" true (Dcpkt.Flow_key.equal flow (ok "1:40000-6:5001"));
+  Alcotest.(check bool) "arrow form" true (Dcpkt.Flow_key.equal flow (ok "1:40000>6:5001"));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true (Result.is_error (Trace.flow_of_spec s)))
+    [ ""; "1:40000"; "1:40000-6"; "a:b-c:d"; "1:40000-6:5001-7:1" ]
+
+let test_filter_of_spec () =
+  let wrap =
+    match Trace.filter_of_spec "flow=1:40000-6:5001,kind=drop|delivered" with
+    | Ok w -> w
+    | Error msg -> Alcotest.fail msg
+  in
+  let ring = Trace.ring ~capacity:64 () in
+  let t = wrap ring in
+  let emit = Trace.emit t ~now:Time_ns.zero in
+  (* The flow clause must learn packet membership even though 'created'
+     is not a requested kind. *)
+  emit (Trace.Created { node = "h"; pkt = 1; flow; size = 100; kind = "data" });
+  emit
+    (Trace.Created
+       {
+         node = "h";
+         pkt = 2;
+         flow = Dcpkt.Flow_key.make ~src_ip:9 ~dst_ip:9 ~src_port:1 ~dst_port:2;
+         size = 100;
+         kind = "data";
+       });
+  emit (Trace.Drop { node = "s"; port = 0; pkt = 1; size = 100; reason = Trace.No_route });
+  emit (Trace.Drop { node = "s"; port = 0; pkt = 2; size = 100; reason = Trace.No_route });
+  emit (Trace.Delivered { node = "h"; pkt = 1 });
+  emit (Trace.Enqueue { node = "s"; port = 0; pkt = 1; size = 100; qbytes = 100 });
+  Alcotest.(check (list string))
+    "flow and kind clauses intersect" [ "drop"; "delivered" ] (kinds_seen ring);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s ^ " rejected")
+        true
+        (Result.is_error (Trace.filter_of_spec s)))
+    [ "bogus=1"; "flow=nope"; "kind="; "flow=" ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitter corner cases                                           *)
 
 let test_json_escaping () =
@@ -247,6 +398,15 @@ let () =
           Alcotest.test_case "ring partial fill" `Quick test_ring_partial_fill;
           Alcotest.test_case "null + tee" `Quick test_null_and_tee;
           Alcotest.test_case "jsonl determinism" `Quick test_jsonl_determinism;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "json roundtrip (all constructors)" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "json rejects malformed" `Quick test_event_json_rejects;
+          Alcotest.test_case "kind filter" `Quick test_kind_filter;
+          Alcotest.test_case "flow filter" `Quick test_flow_filter;
+          Alcotest.test_case "flow_of_spec" `Quick test_flow_of_spec;
+          Alcotest.test_case "filter_of_spec" `Quick test_filter_of_spec;
         ] );
       ( "json",
         [
