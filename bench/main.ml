@@ -359,7 +359,7 @@ let registry_bench id =
     Format.printf "  [%s finished in %.1fs]@." id (Unix.gettimeofday () -. t0)
   | None -> Format.eprintf "unknown experiment %s@." id
 
-let all_ids = Experiments.Registry.ids @ [ "cpu"; "ablation-fack"; "ablation-floor" ]
+let all_ids = Experiments.Registry.ids () @ [ "cpu"; "ablation-fack"; "ablation-floor" ]
 
 let run_one = function
   | "cpu" -> run_cpu_bench ()

@@ -4,7 +4,7 @@ let list_experiments () =
   Format.printf "available experiments:@.";
   List.iter
     (fun e -> Format.printf "  %-14s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
-    Experiments.Registry.all
+    (Experiments.Registry.all ())
 
 (* Run each experiment bracketed by the observability harness; returns
    per-id timings plus one machine-readable sidecar for --metrics-out. *)
@@ -218,7 +218,7 @@ let main verbose list trace trace_filter pcap metrics_out report timeseries impa
   | None ->
   if list || ids = [] then list_experiments ()
   else begin
-    let ids = if ids = [ "all" ] then Experiments.Registry.ids else ids in
+    let ids = if ids = [ "all" ] then Experiments.Registry.ids () else ids in
     let runs = run_ids ids in
     Option.iter
       (fun path ->

@@ -1,0 +1,54 @@
+type entry = { key : string; meta : Obs.Json.t }
+
+let cache_dir root = Filename.concat root "cache"
+let entry_dir root key = Filename.concat (cache_dir root) key
+let report_path root key = Filename.concat (entry_dir root key) "report.json"
+let meta_path root key = Filename.concat (entry_dir root key) "meta.json"
+let log_path root key = Filename.concat (entry_dir root key) "log.txt"
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let find root ~key =
+  if Sys.file_exists (report_path root key) then
+    match Obs.Report.read_file ~path:(meta_path root key) with
+    | Ok meta -> Some { key; meta }
+    | Error _ -> None
+  else None
+
+let store root ~key ~src =
+  mkdir_p (cache_dir root);
+  let dst = entry_dir root key in
+  if Sys.file_exists dst then rm_rf src else Sys.rename src dst
+
+let list root =
+  let dir = cache_dir root in
+  let keys =
+    if Sys.file_exists dir && Sys.is_directory dir then Array.to_list (Sys.readdir dir)
+    else []
+  in
+  List.filter_map (fun key -> find root ~key) (List.sort String.compare keys)
+
+let remove root ~key = rm_rf (entry_dir root key)
+
+let gc root ~live =
+  let dir = cache_dir root in
+  let keys =
+    if Sys.file_exists dir && Sys.is_directory dir then Array.to_list (Sys.readdir dir)
+    else []
+  in
+  let dead = List.filter (fun key -> not (List.mem key live)) keys in
+  let dead = List.sort String.compare dead in
+  List.iter (fun key -> remove root ~key) dead;
+  dead

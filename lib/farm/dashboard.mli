@@ -1,0 +1,34 @@
+(** Static single-file HTML dashboard over the cached report corpus:
+    headline stat tiles, per-seed fuzz status, bench trajectory charts
+    across code fingerprints, and the per-scenario cache-provenance
+    table.
+
+    The render is deterministic for a given cache state — no timestamps
+    or random ids are baked in — so regenerating the dashboard from an
+    unchanged cache is byte-identical. *)
+
+type row = {
+  id : string;
+  kind : string;
+  seed : int;
+  key : string;
+  cached : bool;
+  wall_s : float option;  (** from [meta.json]; [None] when not cached *)
+  report : Obs.Json.t option;
+}
+
+val render :
+  fingerprint:string ->
+  rows:row list ->
+  history:Obs.Json.t list ->
+  gate:Gate.status option ->
+  string
+(** The complete HTML document. *)
+
+val write :
+  path:string ->
+  fingerprint:string ->
+  rows:row list ->
+  history:Obs.Json.t list ->
+  gate:Gate.status option ->
+  unit

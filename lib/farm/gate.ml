@@ -1,0 +1,28 @@
+type status = { ran : bool; detail : string }
+
+let path root = Filename.concat root "gate.json"
+
+let record ~root ~ran ~detail =
+  Cache.mkdir_p root;
+  let oc = open_out (path root) in
+  Obs.Json.to_channel oc
+    (Obs.Json.Obj
+       [
+         ("schema", Obs.Json.String "acdc-farm-gate/1");
+         ("ran", Obs.Json.Bool ran);
+         ("detail", Obs.Json.String detail);
+       ]);
+  close_out oc
+
+let read ~root =
+  match Obs.Report.read_file ~path:(path root) with
+  | Error _ -> None
+  | Ok json -> (
+    match (Obs.Json.member "ran" json, Obs.Json.member "detail" json) with
+    | Some (Obs.Json.Bool ran), Some (Obs.Json.String detail) -> Some { ran; detail }
+    | _ -> None)
+
+let describe = function
+  | None -> "regression gate: NOT RUN — never recorded"
+  | Some { ran = true; detail } -> Printf.sprintf "regression gate: ran (%s)" detail
+  | Some { ran = false; detail } -> Printf.sprintf "regression gate: NOT RUN — %s" detail

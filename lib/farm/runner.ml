@@ -1,0 +1,59 @@
+type job = {
+  scenario : Scenario.t;
+  key : string;
+  dir : string;
+  report : string;
+  log : string;
+}
+
+type result = { job : job; exit_code : int; wall_s : float }
+
+let spawn job =
+  let argv = job.scenario.Scenario.argv ~report:job.report ~dir:job.dir in
+  match argv with
+  | [] -> invalid_arg "Farm.Runner: empty argv"
+  | prog :: _ ->
+    let log_fd = Unix.openfile job.log [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    let pid =
+      try Unix.create_process prog (Array.of_list argv) devnull log_fd log_fd
+      with e ->
+        Unix.close log_fd;
+        Unix.close devnull;
+        raise e
+    in
+    Unix.close log_fd;
+    Unix.close devnull;
+    pid
+
+let run ~jobs queue =
+  let jobs = max 1 jobs in
+  let queue = Array.of_list queue in
+  let results = Array.make (Array.length queue) None in
+  let running = Hashtbl.create 16 in
+  let next = ref 0 in
+  let fill () =
+    while !next < Array.length queue && Hashtbl.length running < jobs do
+      let i = !next in
+      incr next;
+      let pid = spawn queue.(i) in
+      Hashtbl.replace running pid (i, Unix.gettimeofday ())
+    done
+  in
+  fill ();
+  while Hashtbl.length running > 0 do
+    let pid, status = Unix.wait () in
+    match Hashtbl.find_opt running pid with
+    | None -> () (* not ours; nothing else in this process forks *)
+    | Some (i, t0) ->
+      Hashtbl.remove running pid;
+      let exit_code =
+        match status with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED s | Unix.WSTOPPED s -> 128 + s
+      in
+      results.(i) <- Some { job = queue.(i); exit_code; wall_s = Unix.gettimeofday () -. t0 };
+      fill ()
+  done;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false (* every job was spawned *))

@@ -1,0 +1,20 @@
+(** The multiprocess executor: fork/exec one child per cache miss, at
+    most [jobs] in flight, stdout+stderr redirected to the job's log
+    file.  Scheduling order is whatever finishes first; determinism is
+    the merge layer's problem ({!Service} sorts by scenario id), so
+    results only need to come back associated with their jobs. *)
+
+type job = {
+  scenario : Scenario.t;
+  key : string;
+  dir : string;  (** scratch directory (already created) *)
+  report : string;  (** where the child must write its report *)
+  log : string;  (** combined stdout/stderr *)
+}
+
+type result = { job : job; exit_code : int; wall_s : float }
+
+val run : jobs:int -> job list -> result list
+(** Results are returned in the input order regardless of completion
+    order.  [jobs] is clamped to [1 ..].  A child that dies on a signal
+    reports exit code [128 + signal]. *)

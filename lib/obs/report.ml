@@ -101,3 +101,34 @@ let write t ~path =
   let oc = open_out path in
   Json.to_channel oc (to_json t);
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Corpus reading and merging — the farm's view of many reports.       *)
+
+let read_file ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json.of_string contents with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok json -> (
+      match Json.member "schema" json with
+      | Some (Json.String _) -> Ok json
+      | Some _ -> Error (Printf.sprintf "%s: non-string \"schema\" field" path)
+      | None -> Error (Printf.sprintf "%s: missing \"schema\" field" path)))
+
+let merge_corpus ?(schema = "acdc-corpus/1") ?(extra = []) entries =
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let entry (id, body) =
+    let fields =
+      match body with
+      | Json.Obj fields -> List.filter (fun (k, _) -> k <> "id") fields
+      | other -> [ ("body", other) ]
+    in
+    Json.Obj (("id", Json.String id) :: fields)
+  in
+  Json.Obj
+    ((("schema", Json.String schema) :: extra)
+    @ [ ("scenarios", Json.List (List.map entry sorted)) ])

@@ -44,3 +44,23 @@ val to_json : t -> Json.t
 val write : t -> path:string -> unit
 (** Pretty-printed JSON to [path].  Raises [Sys_error] on unwritable
     paths. *)
+
+(** {2 Corpus reading and merging}
+
+    The experiment farm stores one report artifact per scenario and merges
+    them into a single corpus document; the reader/merger live here so the
+    corpus format is owned by the same module that owns the per-run
+    format. *)
+
+val read_file : path:string -> (Json.t, string) result
+(** Parse any report-shaped artifact ([acdc-report/1], [acdc-bench/1],
+    ...) back into JSON.  [Error] on unreadable files, parse failures, or
+    documents without a string ["schema"] field. *)
+
+val merge_corpus :
+  ?schema:string -> ?extra:(string * Json.t) list -> (string * Json.t) list -> Json.t
+(** [merge_corpus entries] bundles [(scenario_id, body)] pairs into one
+    ["acdc-corpus/1"] document.  Entries are sorted by id (stable), so the
+    output is byte-identical however the inputs were produced or ordered;
+    each body object's fields are inlined after its ["id"].  [extra]
+    fields (e.g. the code fingerprint) follow ["schema"]. *)
