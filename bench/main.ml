@@ -136,27 +136,67 @@ let cpu_tests () =
   in
   Test.make_grouped ~name:"datapath" tests
 
+(* Satellite microbenchmark: the same AC/DC sender-side op with the
+   profiler compiled in but off ("disabled": what every normal run pays,
+   one load-and-branch per hook) and with span collection on ("enabled").
+   The disabled row must track the plain datapath rows — that is the
+   zero-overhead claim CI enforces via the < 2% ns_per_op gate. *)
+let profiler_tests () =
+  let open Bechamel in
+  let flows = 1_000 in
+  let setup_off = make_sender_setup ~flows ~with_acdc:true in
+  let setup_on = make_sender_setup ~flows ~with_acdc:true in
+  Test.make_grouped ~name:"profiler"
+    [
+      Test.make
+        ~name:(Printf.sprintf "disabled/%05d-flows" flows)
+        (Staged.stage (sender_side setup_off));
+      Test.make
+        ~name:(Printf.sprintf "enabled/%05d-flows" flows)
+        (Staged.stage (fun () ->
+             Obs.Prof.on := true;
+             sender_side setup_on ();
+             Obs.Prof.on := false));
+    ]
+
 let cpu_rows = ref []
 
 let run_cpu_bench ?(quota = 0.5) () =
   let open Bechamel in
   let open Toolkit in
+  (* The datapath rows are the paper's profiling-off numbers; a driver
+     that profiled the preceding simulation must not leak spans in here.
+     Collection resumes for any scenario that follows. *)
+  let was_profiling = Obs.Prof.enabled () in
+  Obs.Prof.set_enabled false;
   Format.printf "@.=== Figures 11-12: vSwitch datapath cost (CPU overhead proxy) ===@.";
   Format.printf "  ns per (data segment + ACK) through the datapath@.";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
-  let raw = Benchmark.all cfg instances (cpu_tests ()) in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
   let value ols =
     match Analyze.OLS.estimates ols with Some (v :: _) -> v | Some [] | None -> nan
   in
-  let rows =
+  let bench_rows test =
+    let results = Analyze.all ols Instance.monotonic_clock (Benchmark.all cfg instances test) in
     Hashtbl.fold (fun name ols acc -> (name, value ols) :: acc) results []
+  in
+  let rows =
+    bench_rows (cpu_tests ()) @ bench_rows (profiler_tests ())
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   cpu_rows := rows;
   List.iter (fun (name, v) -> Format.printf "  %-44s %10.0f ns/op@." name v) rows;
+  (match
+     ( List.assoc_opt "profiler/disabled/01000-flows" rows,
+       List.assoc_opt "profiler/enabled/01000-flows" rows )
+   with
+  | Some off, Some on ->
+    Format.printf
+      "  profiler: disabled %6.0f ns/op, enabled %6.0f ns/op (spans add %.0f ns, +%.1f%%)@." off
+      on (on -. off)
+      (100.0 *. (on -. off) /. Float.max 1.0 off)
+  | _ -> ());
   let find side scheme flows =
     List.assoc_opt (Printf.sprintf "datapath/%s/%s/%05d-flows" side scheme flows) rows
   in
@@ -183,7 +223,8 @@ let run_cpu_bench ?(quota = 0.5) () =
       segs_per_sec a
       (segs_per_sec *. a /. 1e9 *. 100.0);
     Format.printf "  the same sub-1%%-point overhead the paper reports.@."
-  | None -> ())
+  | None -> ());
+  if was_profiling then Obs.Prof.set_enabled true
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §5)                                            *)
@@ -341,12 +382,14 @@ let smoke () =
     (Workload.Probe.samples_ms probe);
   Obs.Report.write report ~path:!report_out;
   Format.printf "  wrote %s@." !report_out;
-  (* Close any --trace/--pcap artifacts here so they cover exactly the
-     simulation run: the CPU microbench below pushes synthetic packets
-     through bare datapaths, which would pollute provenance (events with
-     no Created origin) and break `trace_query validate`. *)
+  (* Close any --trace/--pcap/--profile artifacts here so they cover
+     exactly the simulation run: the CPU microbench below pushes synthetic
+     packets through bare datapaths, which would pollute provenance
+     (events with no Created origin), break `trace_query validate`, and
+     skew the profiling-off datapath rows. *)
   Obs.Runtime.close_trace ();
   Obs.Runtime.close_pcap ();
+  Obs.Runtime.close_profile ();
   run_cpu_bench ~quota:0.05 ()
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +441,12 @@ let () =
     | "--pcap" :: path :: rest ->
       Obs.Runtime.pcap_to_file path;
       parse ids out rest
+    | "--profile" :: rest ->
+      Obs.Runtime.profile_to ();
+      parse ids out rest
+    | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--profile=" ->
+      Obs.Runtime.profile_to ~folded:(String.sub arg 10 (String.length arg - 10)) ();
+      parse ids out rest
     | arg :: rest -> parse (arg :: ids) out rest
   in
   let ids, out = parse [] None (List.tl (Array.to_list Sys.argv)) in
@@ -414,4 +463,5 @@ let () =
   Experiments.Harness.write_json ~path:out (bench_json ~scenarios);
   Obs.Runtime.close_trace ();
   Obs.Runtime.close_pcap ();
+  Obs.Runtime.close_profile ();
   Format.printf "@.wrote %s@." out

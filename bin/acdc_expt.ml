@@ -41,8 +41,13 @@ let write_report ~path runs =
     runs;
   (* The ambient registry holds the last experiment's counters (timed_run
      resets between runs); the per-experiment snapshots live in the
-     sidecars written by --metrics-out. *)
+     sidecars written by --metrics-out.  Likewise the profile section:
+     per-experiment profiles ride in the sidecars. *)
   Obs.Report.set_metrics report (Obs.Runtime.metrics ());
+  if Obs.Prof.touched () then begin
+    Obs.Report.set_profile report (Obs.Prof.to_json ());
+    List.iter (fun (key, v) -> Obs.Report.add_scalar report key v) (Obs.Prof.baselines ())
+  end;
   Obs.Report.write report ~path
 
 open Cmdliner
@@ -90,6 +95,17 @@ let pcap_arg =
 let metrics_arg =
   let doc = "Write per-experiment metric snapshots (JSON) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Profile the run: per-subsystem span counts, wall time and allocation words are added to \
+     --report / --metrics-out output, and flamegraph-compatible folded stacks are written to \
+     $(docv) (default 'profile.folded' when the flag is given bare)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "profile.folded") (some string) None
+    & info [ "profile" ] ~docv:"FILE" ~doc)
 
 let report_arg =
   let doc = "Write a structured run report (see README 'Run reports') to $(docv)." in
@@ -154,9 +170,10 @@ let run_fuzz ~count ~seed ~report =
   end;
   violations
 
-let main verbose list trace trace_filter pcap metrics_out report timeseries impair fuzz seed
-    ids =
+let main verbose list trace trace_filter pcap metrics_out report timeseries impair profile
+    fuzz seed ids =
   setup_logs verbose;
+  Option.iter (fun folded -> Obs.Runtime.profile_to ~folded ()) profile;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
      Format.eprintf "cannot open trace file: %s@." msg;
@@ -214,6 +231,7 @@ let main verbose list trace trace_filter pcap metrics_out report timeseries impa
     Obs.Runtime.clear_timeseries_sink ();
     Obs.Runtime.close_trace ();
     Obs.Runtime.close_pcap ();
+    Obs.Runtime.close_profile ();
     if violations > 0 then exit 1
   | None ->
   if list || ids = [] then list_experiments ()
@@ -236,8 +254,10 @@ let main verbose list trace trace_filter pcap metrics_out report timeseries impa
   Obs.Runtime.clear_timeseries_sink ();
   Obs.Runtime.close_trace ();
   Obs.Runtime.close_pcap ();
+  Obs.Runtime.close_profile ();
   Option.iter (Format.printf "  [trace written to %s]@.") trace;
-  Option.iter (Format.printf "  [pcap written to %s]@.") pcap
+  Option.iter (Format.printf "  [pcap written to %s]@.") pcap;
+  Option.iter (Format.printf "  [folded profile stacks written to %s]@.") profile
 
 let cmd =
   let doc = "reproduce the AC/DC TCP (SIGCOMM 2016) experiments" in
@@ -245,6 +265,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ verbose_arg $ list_arg $ trace_arg $ trace_filter_arg $ pcap_arg
-      $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ fuzz_arg $ seed_arg $ ids_arg)
+      $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ profile_arg $ fuzz_arg
+      $ seed_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

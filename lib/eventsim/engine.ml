@@ -45,7 +45,23 @@ let step t =
     t.clock <- time;
     t.fired <- t.fired + 1;
     incr all_fired;
-    fire ev;
+    if !Profcore.on then begin
+      (* Dispatch is attributed per event kind; the try keeps the span
+         stack balanced when a callback raises (tests do), unwinding any
+         frames an aborted inner span left behind. *)
+      let site =
+        match ev with
+        | Callback _ -> Profcore.Site.engine_callback
+        | Timer _ -> Profcore.Site.engine_timer
+      in
+      let tok = Profcore.enter site in
+      (try fire ev
+       with e ->
+         Profcore.leave tok;
+         raise e);
+      Profcore.leave tok
+    end
+    else fire ev;
     true
 
 let run ?until t =

@@ -43,7 +43,7 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let push h ~time value =
+let push_unprofiled h ~time value =
   let entry = { time; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
   if h.size = Array.length h.entries then grow h entry;
@@ -51,9 +51,18 @@ let push h ~time value =
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
+let push h ~time value =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.heap_push in
+    push_unprofiled h ~time value;
+    Profcore.note_heap_depth h.size;
+    Profcore.leave tok
+  end
+  else push_unprofiled h ~time value
+
 let peek_time h = if h.size = 0 then None else Some h.entries.(0).time
 
-let pop h =
+let pop_unprofiled h =
   if h.size = 0 then None
   else begin
     let root = h.entries.(0) in
@@ -64,5 +73,14 @@ let pop h =
     end;
     Some (root.time, root.value)
   end
+
+let pop h =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.heap_pop in
+    let r = pop_unprofiled h in
+    Profcore.leave tok;
+    r
+  end
+  else pop_unprofiled h
 
 let clear h = h.size <- 0

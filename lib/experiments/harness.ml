@@ -89,6 +89,10 @@ let report_of_run ~id ?scheme ?(config = []) ?goodputs ?timeseries () =
   | None -> ());
   Obs.Report.set_metrics report (Obs.Runtime.metrics ());
   (match timeseries with Some ts -> Obs.Report.embed_timeseries report ts | None -> ());
+  if Obs.Prof.touched () then begin
+    Obs.Report.set_profile report (Obs.Prof.to_json ());
+    List.iter (fun (key, v) -> Obs.Report.add_scalar report key v) (Obs.Prof.baselines ())
+  end;
   report
 
 (* ------------------------------------------------------------------ *)
@@ -126,7 +130,7 @@ let reset_run_metrics () = Obs.Runtime.reset_metrics ()
 let metrics_json () = Obs.Metrics.to_json (Obs.Runtime.metrics ())
 
 let run_sidecar ~id ~wall_s ~events =
-  Obs.Json.Obj
+  let fields =
     [
       ("id", Obs.Json.String id);
       ("wall_s", Obs.Json.Float wall_s);
@@ -135,6 +139,13 @@ let run_sidecar ~id ~wall_s ~events =
         Obs.Json.Float (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0) );
       ("metrics", metrics_json ());
     ]
+  in
+  Obs.Json.Obj
+    (if Obs.Prof.touched () then
+       fields
+       @ List.map (fun (key, v) -> (key, Obs.Json.Float v)) (Obs.Prof.baselines ())
+       @ [ ("profile", Obs.Prof.to_json ()) ]
+     else fields)
 
 let write_json ~path json =
   let oc = open_out path in
@@ -143,6 +154,13 @@ let write_json ~path json =
 
 let timed_run f =
   reset_run_metrics ();
+  (* Per-run span attribution: each timed scenario starts from clean
+     accumulators, so its report's profile section describes that run
+     alone. *)
+  if Obs.Prof.enabled () then begin
+    Obs.Prof.reset ();
+    Obs.Prof.set_enabled true
+  end;
   let events0 = Engine.total_events_processed () in
   let t0 = Unix.gettimeofday () in
   f ();

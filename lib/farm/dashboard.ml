@@ -336,6 +336,55 @@ let render ~fingerprint ~rows ~history ~gate =
       series;
     add "</div>\n"
   end;
+  (* ---- profile panel: scenarios whose report carries a profile section *)
+  let profiled =
+    List.filter_map
+      (fun r ->
+        match r.report >>= Obs.Json.member "profile" with
+        | Some p -> (
+          match Obs.Json.member "sites" p with
+          | Some (Obs.Json.Obj sites) -> Some (r, p, sites)
+          | _ -> None)
+        | None -> None)
+      rows
+  in
+  if profiled <> [] then begin
+    add "<h2>Profile: where simulated runs spend their time</h2>\n<table>\n";
+    add
+      "<tr><th>scenario</th><th>top subsystems by time</th><th>top subsystems by \
+       allocation</th><th>events/s</th><th>max heap depth</th></tr>\n";
+    List.iter
+      (fun (r, p, sites) ->
+        let field name site = Option.value (Obs.Json.member name site >>= number) ~default:0.0 in
+        let top3 metric =
+          let weighted =
+            List.filter_map
+              (fun (name, site) ->
+                let v = field metric site in
+                if v > 0.0 then Some (name, v) else None)
+              sites
+          in
+          let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 weighted in
+          List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) weighted
+          |> List.filteri (fun i _ -> i < 3)
+          |> List.map (fun (name, v) ->
+                 Printf.sprintf "%s&nbsp;%.0f%%" (esc name) (100.0 *. v /. Float.max total 1e-9))
+          |> String.concat ", "
+        in
+        let gauge name =
+          match Obs.Json.member "gauges" p >>= Obs.Json.member name >>= number with
+          | Some v -> fmt_g v
+          | None -> "&mdash;"
+        in
+        add
+          (Printf.sprintf
+             "<tr><td>%s</td><td class=\"mono\">%s</td><td class=\"mono\">%s</td><td \
+              class=\"num\">%s</td><td class=\"num\">%s</td></tr>\n"
+             (esc r.id) (top3 "total_ns") (top3 "minor_words") (gauge "events_per_sec")
+             (gauge "heap_depth_max")))
+      profiled;
+    add "</table>\n"
+  end;
   (* ---- per-scenario provenance table ---- *)
   add "<h2>Scenario corpus</h2>\n<table>\n";
   add

@@ -68,6 +68,17 @@ let bench_smoke ~exe =
       config = Obs.Json.Obj [ ("scenario", Obs.Json.String "smoke") ];
       argv =
         (fun ~report ~dir ->
-          [ exe; "smoke"; "-o"; Filename.concat dir "BENCH.json"; "--report"; report ]);
+          [
+            exe;
+            "smoke";
+            "-o";
+            Filename.concat dir "BENCH.json";
+            "--report";
+            report;
+            (* Profile every cached smoke run: the report grows a profile
+               section (dashboard panel, ns/packet baselines) and the
+               folded stacks become a cached artifact next to BENCH.json. *)
+            "--profile=" ^ Filename.concat dir "profile.folded";
+          ]);
     };
   ]

@@ -171,7 +171,7 @@ let emit t pkt =
   if delay = Time_ns.zero then t.deliver pkt
   else Engine.schedule_after t.engine ~delay (fun () -> t.deliver pkt)
 
-let deliver t pkt =
+let deliver_unprofiled t pkt =
   Metrics.incr t.c_offered;
   if hit t.rng t.config.loss then begin
     Metrics.incr t.c_lost;
@@ -204,6 +204,14 @@ let deliver t pkt =
     end;
     emit t pkt
   end
+
+let deliver t pkt =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.impair in
+    deliver_unprofiled t pkt;
+    Profcore.leave tok
+  end
+  else deliver_unprofiled t pkt
 
 let wrap ?metrics ?tracer ?pcap engine ?name ~rng ~config inner =
   if is_clean config then inner

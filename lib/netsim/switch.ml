@@ -10,6 +10,9 @@ type port = {
   txq : Txq.t;
   mutable drops : int;
   mutable max_queue : int;
+  (* Cumulative bytes serialized onto the wire: the numerator of the
+     per-port service-rate telemetry channel (INT-style per-hop state). *)
+  mutable tx_bytes : int;
 }
 
 type t = {
@@ -66,10 +69,12 @@ let add_port t ~rate_bps ~prop_delay ?jitter ~deliver () =
     Txq.create t.engine ~tracer:t.tracer ~node:t.name ~port:idx ~rate_bps ~prop_delay ~jitter
       ~deliver
   in
-  let port = { txq; drops = 0; max_queue = 0 } in
+  let port = { txq; drops = 0; max_queue = 0; tx_bytes = 0 } in
   (* Free exactly what admission charged: the enqueue-time size travels
      with the packet, so a mutation while queued cannot leak buffer. *)
-  Txq.set_on_tx_complete txq (fun _pkt ~size -> t.buffer_used <- t.buffer_used - size);
+  Txq.set_on_tx_complete txq (fun _pkt ~size ->
+      t.buffer_used <- t.buffer_used - size;
+      port.tx_bytes <- port.tx_bytes + size);
   let capacity = Array.length t.ports in
   if idx >= capacity then begin
     (* Double the capacity; the new slots are filled with [port] and the
@@ -110,7 +115,7 @@ let drop t port_opt (pkt : Packet.t) ~port_idx ~reason =
            reason;
          })
 
-let input t pkt =
+let input_unprofiled t pkt =
   Metrics.incr t.m_input;
   match Hashtbl.find_opt t.routes pkt.Packet.key.dst_ip with
   | None -> drop t None pkt ~port_idx:(-1) ~reason:Trace.No_route
@@ -169,6 +174,14 @@ let input t pkt =
       end
     end
 
+let input t pkt =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.switch_forward in
+    input_unprofiled t pkt;
+    Profcore.leave tok
+  end
+  else input_unprofiled t pkt
+
 let port_queue_bytes t idx = Txq.queued_bytes t.ports.(idx).txq
 let buffer_used t = t.buffer_used
 let forwarded_packets t = Metrics.value t.m_forwarded_packets
@@ -192,7 +205,18 @@ let register_probes t ~ts ?(interval = 100_000) () =
       (Obs.Timeseries.probe ts
          ~name:(Printf.sprintf "switch.%s.port%d.qbytes" t.name i)
          ~unit_label:"bytes" ~interval (fun () ->
-           Some (float_of_int (Txq.queued_bytes port.txq))))
+           Some (float_of_int (Txq.queued_bytes port.txq))));
+    (* INT-style per-hop telemetry: instantaneous service rate over the
+       last sampling window, from the tx byte counter delta.  bits/ns is
+       numerically Gbit/s. *)
+    let last_tx = ref port.tx_bytes in
+    ignore
+      (Obs.Timeseries.probe ts
+         ~name:(Printf.sprintf "switch.%s.port%d.svc_gbps" t.name i)
+         ~unit_label:"Gbit/s" ~interval (fun () ->
+           let delta = port.tx_bytes - !last_tx in
+           last_tx := port.tx_bytes;
+           Some (float_of_int (delta * 8) /. float_of_int interval)))
   done;
   ignore
     (Obs.Timeseries.probe ts
@@ -210,5 +234,6 @@ let reset_counters t =
   for i = 0 to t.nports - 1 do
     let p = t.ports.(i) in
     p.drops <- 0;
-    p.max_queue <- 0
+    p.max_queue <- 0;
+    p.tx_bytes <- 0
   done

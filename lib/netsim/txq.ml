@@ -55,7 +55,7 @@ let rec start_next t =
   | None -> t.busy <- false
   | Some (pkt, size) ->
     t.busy <- true;
-    let finish () =
+    let finish_unprofiled () =
       t.queued_bytes <- t.queued_bytes - size;
       if Obs.Trace.enabled t.tracer then
         Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
@@ -81,9 +81,20 @@ let rec start_next t =
       Engine.schedule_after t.engine ~delay (fun () -> t.deliver pkt);
       start_next t
     in
+    let finish () =
+      if !Profcore.on then begin
+        let tok = Profcore.enter Profcore.Site.txq_dequeue in
+        (try finish_unprofiled ()
+         with e ->
+           Profcore.leave tok;
+           raise e);
+        Profcore.leave tok
+      end
+      else finish_unprofiled ()
+    in
     Engine.schedule_after t.engine ~delay:(tx_time t ~bytes:size) finish
 
-let enqueue ?size t pkt =
+let enqueue_unprofiled ?size t pkt =
   let size = match size with Some s -> s | None -> Packet.wire_size pkt in
   t.queued_bytes <- t.queued_bytes + size;
   if Obs.Trace.enabled t.tracer then
@@ -92,3 +103,11 @@ let enqueue ?size t pkt =
          { node = t.node; port = t.port; pkt = pkt.Packet.id; size; qbytes = t.queued_bytes });
   Queue.add (pkt, size) t.queue;
   if not t.busy then start_next t
+
+let enqueue ?size t pkt =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.txq_enqueue in
+    enqueue_unprofiled ?size t pkt;
+    Profcore.leave tok
+  end
+  else enqueue_unprofiled ?size t pkt

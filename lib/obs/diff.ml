@@ -1,4 +1,4 @@
-type direction = Higher_is_worse | Lower_is_worse | Drift
+type direction = Higher_is_worse | Lower_is_worse | Drift | Ignore
 
 type rule = { key : string; tol : float; dir : direction }
 
@@ -20,6 +20,15 @@ let default_rules =
     (* Throughput scalars the harness reports. *)
     { key = "goodput_gbps"; tol = 0.10; dir = Lower_is_worse };
     { key = "aggregate_goodput_gbps"; tol = 0.10; dir = Lower_is_worse };
+    (* Profile section: per-site wall-clock accumulators are pure noise
+       across machines — never compared.  Counts and allocation words are
+       deterministic and fall through to the Drift default. *)
+    { key = "total_ns"; tol = 0.0; dir = Ignore };
+    { key = "max_ns"; tol = 0.0; dir = Ignore };
+    (* Hot-path cost baselines (wall-noisy; direction-aware). *)
+    { key = "ns_per_event"; tol = 0.35; dir = Higher_is_worse };
+    { key = "ns_per_packet"; tol = 0.35; dir = Higher_is_worse };
+    { key = "minor_words_per_packet"; tol = 0.10; dir = Higher_is_worse };
   ]
 
 type severity = Regression | Warning | Info
@@ -65,22 +74,25 @@ let diff ?(rules = default_rules) ?(default_tol = 0.15) ~base ~current () =
     | None -> { key = name; tol = default_tol; dir = Drift }
   in
   let numeric path b c =
-    incr compared;
     let rule = rule_for path in
-    let delta = (c -. b) /. Float.max (Float.abs b) 1e-12 in
-    let describe verb =
-      Printf.sprintf "%s %+.1f%% (%.6g -> %.6g, tol %.0f%%)" verb (100.0 *. delta) b c
-        (100.0 *. rule.tol)
-    in
-    if b = 0.0 && c = 0.0 then ()
-    else
-      match rule.dir with
-      | Higher_is_worse when delta > rule.tol -> add path Regression (describe "regressed")
-      | Lower_is_worse when delta < -.rule.tol -> add path Regression (describe "regressed")
-      | Higher_is_worse when delta < -.rule.tol -> add path Info (describe "improved")
-      | Lower_is_worse when delta > rule.tol -> add path Info (describe "improved")
-      | Drift when Float.abs delta > rule.tol -> add path Warning (describe "drifted")
-      | Higher_is_worse | Lower_is_worse | Drift -> ()
+    if rule.dir <> Ignore then begin
+      incr compared;
+      let delta = (c -. b) /. Float.max (Float.abs b) 1e-12 in
+      let describe verb =
+        Printf.sprintf "%s %+.1f%% (%.6g -> %.6g, tol %.0f%%)" verb (100.0 *. delta) b c
+          (100.0 *. rule.tol)
+      in
+      if b = 0.0 && c = 0.0 then ()
+      else
+        match rule.dir with
+        | Ignore -> ()
+        | Higher_is_worse when delta > rule.tol -> add path Regression (describe "regressed")
+        | Lower_is_worse when delta < -.rule.tol -> add path Regression (describe "regressed")
+        | Higher_is_worse when delta < -.rule.tol -> add path Info (describe "improved")
+        | Lower_is_worse when delta > rule.tol -> add path Info (describe "improved")
+        | Drift when Float.abs delta > rule.tol -> add path Warning (describe "drifted")
+        | Higher_is_worse | Lower_is_worse | Drift -> ()
+    end
   in
   let join path key = if path = "" then key else path ^ "." ^ key in
   let rec walk path b c =
@@ -134,6 +146,10 @@ let diff ?(rules = default_rules) ?(default_tol = 0.15) ~base ~current () =
       | Json.Bool bb, Json.Bool cb ->
         if bb <> cb then add path Warning (Printf.sprintf "changed (%b -> %b)" bb cb)
       | Json.Null, Json.Null -> ()
+      | Json.Null, _ ->
+        (* A section the baseline binary didn't emit (e.g. [metrics] or
+           [profile] before they existed): informational, like a new key. *)
+        add path Info "new in current"
       | _ -> add path Warning "type changed")
   in
   walk "" base current;
@@ -169,6 +185,7 @@ let parse_rule s =
         | Some "higher" -> Ok Higher_is_worse
         | Some "lower" -> Ok Lower_is_worse
         | Some "drift" -> Ok Drift
+        | Some "ignore" -> Ok Ignore
         | Some d -> Error (Printf.sprintf "%S: unknown direction %S" s d)
       in
       match dir with Error _ as e -> e | Ok dir -> Ok { key; tol; dir }))

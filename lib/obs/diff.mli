@@ -13,6 +13,9 @@ type direction =
   | Higher_is_worse  (** latency-like: regression when it grows (ns_per_op) *)
   | Lower_is_worse  (** throughput-like: regression when it shrinks *)
   | Drift  (** no known better direction: changes beyond tolerance only warn *)
+  | Ignore
+      (** never compared (wall-clock leaves like the profile section's
+          [total_ns]); not counted in [compared] *)
 
 type rule = { key : string; tol : float; dir : direction }
 (** [tol] is relative: 0.15 flags a >15% move in the bad direction. *)
@@ -42,11 +45,12 @@ val diff : ?rules:rule list -> ?default_tol:float -> base:Json.t -> current:Json
     the first rule whose [key] equals the leaf name wins; numeric leaves
     with no rule get [{tol = default_tol; dir = Drift}] ([default_tol]
     defaults to 0.15).  Non-numeric mismatches, missing fields and type
-    changes produce warnings; fields only in [current] produce info. *)
+    changes produce warnings; fields only in [current] — including a
+    section that was [null] in [base] — produce info. *)
 
 val parse_rule : string -> (rule, string) result
-(** ["key=0.5"] or ["key=0.5:higher"|":lower"|":drift"] — the [--tol]
-    command-line syntax. *)
+(** ["key=0.5"] or ["key=0.5:higher"|":lower"|":drift"|":ignore"] — the
+    [--tol] command-line syntax. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Human-readable listing, regressions first. *)

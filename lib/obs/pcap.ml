@@ -144,7 +144,7 @@ let iface_id w name =
     w.write (interface_block ~name);
     id
 
-let capture t ~iface ~now (pkt : Packet.t) =
+let capture_unprofiled t ~iface ~now (pkt : Packet.t) =
   match t with
   | Null -> ()
   | Writer w ->
@@ -159,6 +159,17 @@ let capture t ~iface ~now (pkt : Packet.t) =
     | Pcapng ->
       let id = iface_id w iface in
       w.write (enhanced_packet ~iface:id ~now ~orig_len data))
+
+let capture t ~iface ~now pkt =
+  (* A live capture serializes the frame on the datapath; the span makes
+     that cost visible instead of smearing it into whichever component
+     owns the tap. *)
+  if !Profcore.on && enabled t then begin
+    let tok = Profcore.enter Profcore.Site.pcap_sink in
+    capture_unprofiled t ~iface ~now pkt;
+    Profcore.leave tok
+  end
+  else capture_unprofiled t ~iface ~now pkt
 
 (* ------------------------------------------------------------------ *)
 (* Reader                                                              *)

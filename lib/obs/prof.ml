@@ -1,0 +1,64 @@
+include Profcore
+
+(* Leaf keys ending in [_ns] (and the derived [events_per_sec] gauge)
+   carry wall-clock noise; [Diff.default_rules] ignores or loosens them so
+   the deterministic fields — counts and allocation words — are what the
+   regression gate actually bites on. *)
+let site_json (s : site_stats) =
+  ( s.s_name,
+    Json.Obj
+      [
+        ("count", Json.Int s.s_count);
+        ("minor_words", Json.Int (int_of_float s.s_minor_words));
+        ("major_words", Json.Int (int_of_float s.s_major_words));
+        ("total_ns", Json.Int s.s_total_ns);
+        ("max_ns", Json.Int s.s_max_ns);
+      ] )
+
+let to_json () =
+  Json.Obj
+    [
+      ("sites", Json.Obj (List.map site_json (snapshot ())));
+      ( "gauges",
+        Json.Obj
+          [
+            ("heap_depth_max", Json.Int (heap_depth_high_water ()));
+            ("events_per_sec", Json.Float (events_per_sec ()));
+          ] );
+    ]
+
+(* Hot-path cost baselines: the per-unit numbers ROADMAP item 1's future
+   speedups are measured against.  ns/* are wall-noisy (loose diff rules);
+   minor_words_per_packet is deterministic for a seeded run. *)
+let baselines () =
+  let stats = snapshot () in
+  let find name = List.find_opt (fun s -> String.equal s.s_name name) stats in
+  let sum names f =
+    List.fold_left (fun acc n -> match find n with Some s -> acc + f s | None -> acc) 0 names
+  in
+  let engine = [ "engine.callback"; "engine.timer" ] in
+  let datapath = [ "vswitch.rx"; "vswitch.tx" ] in
+  let per num den = if den > 0 then Some (float_of_int num /. float_of_int den) else None in
+  List.filter_map
+    (fun (key, v) -> Option.map (fun v -> (key, v)) v)
+    [
+      ("ns_per_event", per (sum engine (fun s -> s.s_total_ns)) (sum engine (fun s -> s.s_count)));
+      ( "ns_per_packet",
+        per (sum datapath (fun s -> s.s_total_ns)) (sum datapath (fun s -> s.s_count)) );
+      ( "minor_words_per_packet",
+        per
+          (sum datapath (fun s -> int_of_float s.s_minor_words))
+          (sum datapath (fun s -> s.s_count)) );
+    ]
+
+let folded_to_string () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, self_ns) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" stack self_ns))
+    (folded ());
+  Buffer.contents buf
+
+let write_folded ~path =
+  let oc = open_out path in
+  output_string oc (folded_to_string ());
+  close_out oc

@@ -1,0 +1,35 @@
+(** Self-profiling: span attribution, allocation accounting, and derived
+    gauges, re-exported from the bottom-layer [Profcore] (which lives below
+    [Eventsim] so the event loop itself can carry spans) together with the
+    renderers that need [Obs.Json].
+
+    See {!Profcore} for the span API ([enter] / [leave] / [with_span]), the
+    static {!Profcore.Site} registry, and the accumulator snapshots. *)
+
+include module type of Profcore
+
+val to_json : unit -> Json.t
+(** The report's [profile] section:
+
+    {[ { "sites": { "<site>": { count, minor_words, major_words,
+                                 total_ns, max_ns }, ... },
+         "gauges": { heap_depth_max, events_per_sec } } ]}
+
+    Sites appear in registry order (deterministic), zero rows included.
+    [count], [minor_words] and [major_words] are deterministic for a seeded
+    run; [total_ns] / [max_ns] / [events_per_sec] are wall-clock and get
+    loose or ignoring {!Diff} rules. *)
+
+val baselines : unit -> (string * float) list
+(** Hot-path cost baselines derived from the accumulators:
+    [ns_per_event] (engine dispatch), [ns_per_packet] and
+    [minor_words_per_packet] (vSwitch datapath rx+tx).  A key is omitted
+    when its denominator is zero, so an unprofiled or packet-free run
+    contributes nothing. *)
+
+val folded_to_string : unit -> string
+(** Flamegraph-compatible folded stacks ("a;b;c self_ns" lines), sorted by
+    stack path. *)
+
+val write_folded : path:string -> unit
+(** {!folded_to_string} to a file (truncating). *)

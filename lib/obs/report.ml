@@ -7,11 +7,21 @@ type t = {
   mutable scalars : (string * Json.t) list;
   mutable percentiles : (string * Json.t) list;
   mutable metrics : Json.t option;
+  mutable profile : Json.t option;
   mutable timeseries : timeseries_ref list;
 }
 
 let create ?(schema = "acdc-report/1") ~id () =
-  { schema; id; config = []; scalars = []; percentiles = []; metrics = None; timeseries = [] }
+  {
+    schema;
+    id;
+    config = [];
+    scalars = [];
+    percentiles = [];
+    metrics = None;
+    profile = None;
+    timeseries = [];
+  }
 
 let add_config t key v = t.config <- (key, v) :: t.config
 let add_scalar t key v = t.scalars <- (key, Json.Float v) :: t.scalars
@@ -61,6 +71,8 @@ let add_histogram t ~name ?(unit_label = "") hist =
 
 let set_metrics t registry = t.metrics <- Some (Metrics.to_json registry)
 
+let set_profile t p = t.profile <- Some p
+
 let embed_timeseries t ts = t.timeseries <- Embedded ts :: t.timeseries
 
 let reference_timeseries t ~dir ts = t.timeseries <- Referenced (dir, ts) :: t.timeseries
@@ -86,7 +98,7 @@ let timeseries_json = function
       ]
 
 let to_json t =
-  Json.Obj
+  let fields =
     [
       ("schema", Json.String t.schema);
       ("id", Json.String t.id);
@@ -96,6 +108,13 @@ let to_json t =
       ("metrics", Option.value t.metrics ~default:Json.Null);
       ("timeseries", Json.List (List.rev_map timeseries_json t.timeseries));
     ]
+  in
+  (* [profile] is optional and appended after the fixed sections so
+     profile-free reports stay byte-identical to the pre-profiler schema. *)
+  Json.Obj
+    (match t.profile with
+    | None -> fields
+    | Some p -> fields @ [ ("profile", p) ])
 
 let write t ~path =
   let oc = open_out path in

@@ -29,6 +29,10 @@ val add_histogram : t -> name:string -> ?unit_label:string -> Dcstats.Histogram.
 val set_metrics : t -> Metrics.t -> unit
 (** Snapshot the registry now (counters summed, gauges maxed). *)
 
+val set_profile : t -> Json.t -> unit
+(** Attach a profiling section (normally {!Prof.to_json}); rendered as a
+    trailing ["profile"] field.  Reports without one are unchanged. *)
+
 val embed_timeseries : t -> Timeseries.t -> unit
 (** Inline every channel's points into the report. *)
 
@@ -39,7 +43,8 @@ val reference_timeseries : t -> dir:string -> Timeseries.t -> unit
 
 val to_json : t -> Json.t
 (** Sections in fixed order: schema, id, config, scalars, percentiles,
-    metrics, timeseries — deterministic for deterministic inputs. *)
+    metrics, timeseries, then [profile] when one was attached —
+    deterministic for deterministic inputs. *)
 
 val write : t -> path:string -> unit
 (** Pretty-printed JSON to [path].  Raises [Sys_error] on unwritable

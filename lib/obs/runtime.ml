@@ -50,6 +50,22 @@ let pcap_to_file path =
   pcap_file := Some oc;
   the_pcap := Pcap.create ~format:(Pcap.format_of_path path) ~write:(output_string oc)
 
+let folded_out = ref None
+
+let profile_to ?folded () =
+  Prof.reset ();
+  folded_out := folded;
+  Prof.set_enabled true
+
+let profiling () = Prof.enabled ()
+
+let close_profile () =
+  (match !folded_out with
+  | Some path when Prof.touched () -> Prof.write_folded ~path
+  | Some _ | None -> ());
+  folded_out := None;
+  Prof.set_enabled false
+
 let timeseries_sink = ref None
 
 let set_timeseries_sink ~dir = timeseries_sink := Some dir

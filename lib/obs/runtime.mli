@@ -51,6 +51,31 @@ val close_pcap : unit -> unit
 (** Flush and close a [pcap_to_file] sink and reset the sink to
     {!Pcap.null}.  No-op otherwise. *)
 
+(** {2 Profiling}
+
+    The profiler is ambient by construction — {!Prof} (= [Profcore]) keeps
+    its accumulators in globals so the hot paths pay one load-and-branch
+    when it is off.  Drivers enable it for a whole run:
+
+    {[
+      Obs.Runtime.profile_to ~folded:"profile.folded" ();
+      (* ... build topology, run ... *)
+      Obs.Runtime.close_profile ()   (* writes the folded stacks *)
+    ]} *)
+
+val profile_to : ?folded:string -> unit -> unit
+(** Reset all profiling state and enable span collection.  When [folded]
+    is given, {!close_profile} writes flamegraph-compatible folded stacks
+    there. *)
+
+val profiling : unit -> bool
+(** Whether span collection is currently enabled. *)
+
+val close_profile : unit -> unit
+(** Write the folded-stacks file if one was requested (and any spans were
+    recorded), then disable collection.  Accumulated statistics survive —
+    reports rendered afterwards still see them. *)
+
 (** {2 Time-series export sink}
 
     Like the tracer, the time-series sink is ambient: a driver that wants

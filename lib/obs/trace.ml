@@ -423,7 +423,7 @@ let event_of_json json =
   in
   Ok (now, event)
 
-let rec emit t ~now event =
+let rec emit_unprofiled t ~now event =
   match t with
   | Null -> ()
   | Ring r ->
@@ -432,9 +432,20 @@ let rec emit t ~now event =
     r.total <- r.total + 1
   | Write write -> write (Json.to_string (event_to_json ~now event))
   | Tee (a, b) ->
-    emit a ~now event;
-    emit b ~now event
-  | Filter (keep, inner) -> if keep now event then emit inner ~now event
+    emit_unprofiled a ~now event;
+    emit_unprofiled b ~now event
+  | Filter (keep, inner) -> if keep now event then emit_unprofiled inner ~now event
+
+let emit t ~now event =
+  (* The span wraps only the outermost call: Tee/Filter recursion stays in
+     one trace.sink frame. *)
+  match t with
+  | Null -> ()
+  | _ when !Profcore.on ->
+    let tok = Profcore.enter Profcore.Site.trace_sink in
+    emit_unprofiled t ~now event;
+    Profcore.leave tok
+  | _ -> emit_unprofiled t ~now event
 
 let rec events = function
   | Null | Write _ -> []

@@ -1,0 +1,117 @@
+(** Self-profiling core: monotonic-clock spans, per-subsystem accumulators
+    (count, total/max ns, GC minor+major allocation deltas), and a
+    folded-stack tree built from span nesting.
+
+    Lives below [eventsim] so the event core and every network layer can
+    push spans; [Obs.Prof] re-exports this module with JSON and
+    folded-stack renderers on top.
+
+    Hot-path contract: guard every span with the {!on} flag so the
+    disabled path is exactly one load and one branch —
+
+    {[
+      if !Profcore.on then begin
+        let tok = Profcore.enter Profcore.Site.txq_enqueue in
+        ... work ...;
+        Profcore.leave tok
+      end
+      else ... work ...
+    ]}
+
+    The enabled path performs no OCaml allocation beyond [Gc.counters]'s
+    own result, whose exact cost is calibrated at startup and subtracted
+    from every span's allocation delta.  Counts and allocation words are
+    deterministic for a seeded run; ns fields carry wall-clock noise. *)
+
+external clock_ns : unit -> int = "prof_clock_ns" [@@noalloc]
+(** CLOCK_MONOTONIC in nanoseconds as an immediate int (no boxing). *)
+
+(** The static subsystem registry.  Every span is attributed to one of
+    these sites; their declaration order is the deterministic key order of
+    all rendered profiles. *)
+module Site : sig
+  type t = private int
+
+  val engine_callback : t
+  val engine_timer : t
+  val heap_push : t
+  val heap_pop : t
+  val switch_forward : t
+  val txq_enqueue : t
+  val txq_dequeue : t
+  val vswitch_rx : t
+  val vswitch_tx : t
+  val acdc_sender : t
+  val acdc_receiver : t
+  val tcp_endpoint : t
+  val impair : t
+  val pcap_sink : t
+  val trace_sink : t
+
+  val count : int
+  val name : t -> string
+  val all : t list
+end
+
+val on : bool ref
+(** The enable flag, exposed as a ref so call sites pay one load + branch
+    when profiling is off.  Mutate through {!set_enabled}. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Flip profiling on/off.  Clears the live span stack (so spans never
+    straddle an enable edge) but keeps accumulated statistics: a driver
+    can disable profiling before auxiliary work and still render the
+    numbers gathered so far. *)
+
+val reset : unit -> unit
+(** Zero every accumulator, gauge and the folded tree. *)
+
+val enter : Site.t -> int
+(** Open a span; returns a token for {!leave}.  Only call when {!on} is
+    true. *)
+
+val leave : int -> unit
+(** Close spans down to [token] — normally exactly the one [enter]
+    opened, but unwinds any deeper frames left by an exception, so a
+    protected outer span restores balance. *)
+
+val with_span : Site.t -> (unit -> 'a) -> 'a
+(** Exception-safe span around [f] (no-op wrapper when disabled).  The
+    convenience form for cold paths; hot paths use {!enter}/{!leave}
+    under an {!on} guard to avoid the closure. *)
+
+val depth : unit -> int
+(** Current span-stack depth (0 when balanced at top level). *)
+
+val note_heap_depth : int -> unit
+(** Feed the event-heap depth gauge (keeps the high-water mark). *)
+
+val touched : unit -> bool
+(** True once any span has completed since the last {!reset}. *)
+
+type site_stats = {
+  s_name : string;
+  s_count : int;
+  s_total_ns : int;  (** inclusive; wall-clock noisy *)
+  s_max_ns : int;  (** wall-clock noisy *)
+  s_minor_words : float;  (** deterministic for a seeded run *)
+  s_major_words : float;  (** deterministic for a seeded run *)
+}
+
+val snapshot : unit -> site_stats list
+(** One entry per registry site (zero entries included), in registry
+    order. *)
+
+val heap_depth_high_water : unit -> int
+
+val events_per_sec : unit -> float
+(** Engine dispatch throughput derived from the engine sites' own spans
+    (count / inclusive seconds); 0 before any dispatch.  Wall-clock
+    noisy. *)
+
+val folded : unit -> (string * int) list
+(** Flamegraph-compatible folded stacks: [("a;b;c", self_ns)] per
+    distinct span path, sorted by path.  Self ns is inclusive minus
+    children, clamped at 0. *)

@@ -666,7 +666,7 @@ let handle_fin t (pkt : Packet.t) =
   if t.state = Established && not t.fin_sent then close t;
   if t.state = Fin_wait && t.fin_received then t.state <- Closing
 
-let input t (pkt : Packet.t) =
+let input_unprofiled t (pkt : Packet.t) =
   match t.state with
   | Listen -> if pkt.syn && not pkt.has_ack then handle_syn t pkt
   | Syn_sent -> if pkt.syn && pkt.has_ack then handle_syn_ack t pkt
@@ -693,6 +693,14 @@ let input t (pkt : Packet.t) =
       if pkt.fin then handle_fin t pkt
     end
   | Closed -> ()
+
+let input t (pkt : Packet.t) =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.tcp_endpoint in
+    input_unprofiled t pkt;
+    Profcore.leave tok
+  end
+  else input_unprofiled t pkt
 
 (* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
