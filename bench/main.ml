@@ -332,12 +332,19 @@ let smoke () =
   Format.printf "@.=== smoke: 5-pair AC/DC dumbbell, 100 ms ===@.";
   let scheme = Experiments.Harness.acdc () in
   let pairs = 5 in
+  (* INT on for the fabric portion only: every switch stamps per-hop
+     telemetry, the report grows an "int" section and the timeseries
+     export carries flow 0's per-hop channels.  The cpu microbench below
+     runs with INT back off so its rows stay comparable to figs. 11-12. *)
+  Dcpkt.Int_meta.set_enabled true;
   let net = Experiments.Harness.dumbbell scheme ~pairs () in
   let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs in
-  (* Instrument the run: switch queues, one flow's enforced window, the
-     aggregate goodput counter and a sockperf-style RTT probe all feed the
-     run report. *)
+  (* Instrument the run: switch queues, one flow's enforced window, flow
+     0's per-hop INT samples, the aggregate goodput counter and a
+     sockperf-style RTT probe all feed the run report. *)
   let ts = Experiments.Harness.new_timeseries net in
+  Obs.Int_sink.watch (Obs.Runtime.int_sink ()) ~ts ~prefix:"flow0"
+    (Fabric.Conn.key (List.hd conns));
   let sample_every = Eventsim.Time_ns.us 500 in
   Array.iter
     (fun sw -> Netsim.Switch.register_probes sw ~ts ~interval:sample_every ())
@@ -390,6 +397,7 @@ let smoke () =
   Obs.Runtime.close_trace ();
   Obs.Runtime.close_pcap ();
   Obs.Runtime.close_profile ();
+  Dcpkt.Int_meta.set_enabled false;
   run_cpu_bench ~quota:0.05 ()
 
 (* ------------------------------------------------------------------ *)
@@ -440,6 +448,9 @@ let () =
       parse ids out rest
     | "--pcap" :: path :: rest ->
       Obs.Runtime.pcap_to_file path;
+      parse ids out rest
+    | "--timeseries" :: dir :: rest ->
+      Obs.Runtime.set_timeseries_sink ~dir;
       parse ids out rest
     | "--profile" :: rest ->
       Obs.Runtime.profile_to ();

@@ -48,6 +48,8 @@ let write_report ~path runs =
     Obs.Report.set_profile report (Obs.Prof.to_json ());
     List.iter (fun (key, v) -> Obs.Report.add_scalar report key v) (Obs.Prof.baselines ())
   end;
+  let sink = Obs.Runtime.int_sink () in
+  if Obs.Int_sink.touched sink then Obs.Report.set_int report (Obs.Int_sink.to_json sink);
   Obs.Report.write report ~path
 
 open Cmdliner
@@ -127,6 +129,15 @@ let impair_arg =
   in
   Arg.(value & opt (some string) None & info [ "impair" ] ~docv:"SPEC" ~doc)
 
+let int_arg =
+  let doc =
+    "Enable in-band network telemetry: every switch stamps per-hop metadata (ingress/egress \
+     time, queue depth, service rate) into the packets it forwards; the receiving vSwitch \
+     strips the stack into trace events ('int_hop'/'int_strip'), the report's 'int' section \
+     and the CC feedback channel.  Query with 'trace_query int --flow'."
+  in
+  Arg.(value & flag & info [ "int" ] ~doc)
+
 let fuzz_arg =
   let doc =
     "Run $(docv) randomized invariant-checking scenarios instead of experiments; exits \
@@ -171,8 +182,9 @@ let run_fuzz ~count ~seed ~report =
   violations
 
 let main verbose list trace trace_filter pcap metrics_out report timeseries impair profile
-    fuzz seed ids =
+    int_enabled fuzz seed ids =
   setup_logs verbose;
+  if int_enabled then Dcpkt.Int_meta.set_enabled true;
   Option.iter (fun folded -> Obs.Runtime.profile_to ~folded ()) profile;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
@@ -265,7 +277,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ verbose_arg $ list_arg $ trace_arg $ trace_filter_arg $ pcap_arg
-      $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ profile_arg $ fuzz_arg
-      $ seed_arg $ ids_arg)
+      $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ profile_arg $ int_arg
+      $ fuzz_arg $ seed_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -7,6 +7,7 @@ module Trace = Obs.Trace
 module Pcap = Obs.Pcap
 module Packet = Dcpkt.Packet
 module Flow_key = Dcpkt.Flow_key
+module Samples = Dcstats.Samples
 
 exception Fail of string
 
@@ -132,20 +133,175 @@ let summary events =
       (us (t1 - t0)) (us t0) (us t1)
   | _ -> Format.printf "empty trace@.");
   let kinds = Hashtbl.create 16 in
+  let impairs = Hashtbl.create 8 in
   let pkts = Hashtbl.create 1024 in
   let flows = Hashtbl.create 64 in
   List.iter
     (fun (_, ev) ->
       let k = Trace.kind_of_event ev in
       Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k));
+      (match ev with
+      | Trace.Impaired { action; _ } ->
+        let a = Trace.action_label action in
+        Hashtbl.replace impairs a (1 + Option.value ~default:0 (Hashtbl.find_opt impairs a))
+      | _ -> ());
       Option.iter (fun p -> Hashtbl.replace pkts p ()) (Trace.pkt_of_event ev);
       Option.iter (fun f -> Hashtbl.replace flows f ()) (Trace.flow_of_event ev))
     events;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (k, v) -> Format.printf "  %-14s %8d@." k v);
+  |> List.iter (fun (k, v) ->
+         Format.printf "  %-14s %8d@." k v;
+         (* Impairments are one aggregate kind in the tag vocabulary;
+            break them out per action right under the aggregate row. *)
+         if k = "impaired" then
+           Hashtbl.fold (fun a n acc -> (a, n) :: acc) impairs []
+           |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+           |> List.iter (fun (a, n) -> Format.printf "    %-12s %8d@." ("/" ^ a) n));
   Format.printf "%d distinct packets, %d distinct flows@." (Hashtbl.length pkts)
     (Hashtbl.length flows)
+
+(* ------------------------------------------------------------------ *)
+(* int: break a flow's latency down hop-by-hop from its INT samples.   *)
+
+type hop_agg = {
+  mutable first_depth : int;  (* position along the path, for ordering *)
+  sojourn : Samples.t;
+  mutable sum_sojourn : int;
+  mutable max_qbytes : int;
+  mutable svc_sum : float;
+}
+
+let int_view events spec =
+  let flow = match Trace.flow_of_spec spec with Ok f -> f | Error e -> failf "%s" e in
+  let fwd k = Flow_key.equal k flow in
+  let rev k = Flow_key.equal k (Flow_key.reverse flow) in
+  (* The ACKs of a flow carry their own stamps under the reversed
+     4-tuple, so aggregate the two directions separately. *)
+  let aggs : (bool * string, hop_agg) Hashtbl.t = Hashtbl.create 16 in
+  let agg_of is_fwd label =
+    match Hashtbl.find_opt aggs (is_fwd, label) with
+    | Some a -> a
+    | None ->
+      let a =
+        {
+          first_depth = max_int;
+          sojourn = Samples.create ();
+          sum_sojourn = 0;
+          max_qbytes = 0;
+          svc_sum = 0.0;
+        }
+      in
+      Hashtbl.replace aggs (is_fwd, label) a;
+      a
+  in
+  let created = Hashtbl.create 1024 in (* fwd pkt id -> creation time *)
+  let delivered = Hashtbl.create 1024 in
+  let pkt_sojourn = Hashtbl.create 1024 in (* fwd pkt id -> summed hop sojourn *)
+  let stripped = ref 0 and exceeded = ref 0 and hop_samples = ref 0 in
+  List.iter
+    (fun (now, ev) ->
+      match ev with
+      | Trace.Created { flow = f; pkt; _ } when fwd f -> Hashtbl.replace created pkt now
+      | Trace.Delivered { pkt; _ } -> Hashtbl.replace delivered pkt now
+      | Trace.Int_hop { flow = f; pkt; depth; hop; port; ingress; egress; qbytes; svc_bps }
+        when fwd f || rev f ->
+        let is_fwd = fwd f in
+        let label = Printf.sprintf "%s:%d" hop port in
+        let a = agg_of is_fwd label in
+        let sojourn = egress - ingress in
+        a.first_depth <- min a.first_depth depth;
+        Samples.add a.sojourn (float_of_int sojourn);
+        a.sum_sojourn <- a.sum_sojourn + sojourn;
+        a.max_qbytes <- Stdlib.max a.max_qbytes qbytes;
+        a.svc_sum <- a.svc_sum +. float_of_int svc_bps;
+        incr hop_samples;
+        if is_fwd then
+          Hashtbl.replace pkt_sojourn pkt
+            (sojourn + Option.value ~default:0 (Hashtbl.find_opt pkt_sojourn pkt))
+      | Trace.Int_strip { flow = f; exceeded = e; _ } when fwd f || rev f ->
+        incr stripped;
+        if e then incr exceeded
+      | _ -> ())
+    events;
+  if !hop_samples = 0 then
+    failf "no INT samples for flow %s in this trace (was the run INT-enabled?)" spec;
+  Format.printf "flow %a: %d stamped packets, %d hop samples%s@." Flow_key.pp flow !stripped
+    !hop_samples
+    (if !exceeded > 0 then
+       Printf.sprintf " (%d packets ran out of option space)" !exceeded
+     else "");
+  let direction is_fwd title =
+    let hops =
+      Hashtbl.fold (fun (d, label) a acc -> if d = is_fwd then (label, a) :: acc else acc) aggs []
+      |> List.sort (fun (la, a) (lb, b) ->
+             match compare a.first_depth b.first_depth with
+             | 0 -> String.compare la lb
+             | c -> c)
+    in
+    if hops <> [] then begin
+      let total = List.fold_left (fun acc (_, a) -> acc + a.sum_sojourn) 0 hops in
+      Format.printf "%s (per-hop queueing, path order):@." title;
+      Format.printf "  %-16s %6s %9s %9s %9s %6s %9s %8s@." "hop" "pkts" "p50 us" "p99 us"
+        "max us" "share" "max q B" "svc Gbps";
+      List.iter
+        (fun (label, a) ->
+          let n = Samples.count a.sojourn in
+          Format.printf "  %-16s %6d %9.3f %9.3f %9.3f %5.1f%% %9d %8.2f@." label n
+            (Samples.percentile a.sojourn 50.0 /. 1000.0)
+            (Samples.percentile a.sojourn 99.0 /. 1000.0)
+            (Samples.max a.sojourn /. 1000.0)
+            (if total = 0 then 0.0 else 100.0 *. float_of_int a.sum_sojourn /. float_of_int total)
+            a.max_qbytes
+            (a.svc_sum /. float_of_int n /. 1e9))
+        hops;
+      (* Name the culprit: the hop where queueing built up. *)
+      (match
+         List.sort (fun (_, a) (_, b) -> compare b.sum_sojourn a.sum_sojourn) hops
+       with
+      | (label, a) :: _ :: _ when a.sum_sojourn > 0 ->
+        Format.printf "  queueing builds up at %s (%.1f%% of %s queueing, p99 %.3f us)@." label
+          (100.0 *. float_of_int a.sum_sojourn /. float_of_int total)
+          title
+          (Samples.percentile a.sojourn 99.0 /. 1000.0)
+      | _ -> ())
+    end;
+    List.fold_left (fun acc (_, a) -> acc + a.sum_sojourn) 0 hops
+  in
+  let fwd_total = direction true "data path" in
+  let _ack_total = direction false "ack path" in
+  (* End-to-end attribution: creation -> delivery against the summed hop
+     sojourns of the same packets. *)
+  let e2e = Samples.create () and path = Samples.create () in
+  let sum_e2e = ref 0 and sum_path = ref 0 in
+  Hashtbl.iter
+    (fun pkt t0 ->
+      match Hashtbl.find_opt delivered pkt with
+      | None -> ()
+      | Some t1 ->
+        let s = Option.value ~default:0 (Hashtbl.find_opt pkt_sojourn pkt) in
+        Samples.add e2e (float_of_int (t1 - t0));
+        Samples.add path (float_of_int s);
+        sum_e2e := !sum_e2e + (t1 - t0);
+        sum_path := !sum_path + s)
+    created;
+  if Samples.count e2e > 0 then begin
+    Format.printf
+      "end-to-end (created -> delivered, %d packets): mean %.3f us, p99 %.3f us@."
+      (Samples.count e2e) (Samples.mean e2e /. 1000.0)
+      (Samples.percentile e2e 99.0 /. 1000.0)
+    ;
+    Format.printf
+      "  stamped-hop queueing: mean %.3f us, p99 %.3f us — %.1f%% of end-to-end latency@."
+      (Samples.mean path /. 1000.0)
+      (Samples.percentile path 99.0 /. 1000.0)
+      (if !sum_e2e = 0 then 0.0 else 100.0 *. float_of_int !sum_path /. float_of_int !sum_e2e);
+    Format.printf
+      "  (the rest is serialization, propagation and NIC/vswitch time outside the stamped \
+       queues)@."
+  end;
+  Format.printf "total stamped sojourn: %.3f us on the data path@."
+    (float_of_int fwd_total /. 1000.0)
 
 (* ------------------------------------------------------------------ *)
 (* validate: do the capture, the trace and the report agree?           *)
@@ -238,21 +394,23 @@ let check_pcap_roundtrip frames =
    tap has an exact witness — Dequeue events, the vswitch egress counter
    plus Delivered/No_endpoint events, and the impair counters — so for an
    unfiltered trace the frame count must match to the packet. *)
-let check_counts frames events report_path =
-  let counters =
-    match report_path with
-    | None -> []
-    | Some path -> (
-      match Json.of_string (read_file path) with
-      | Error e -> failf "%s: %s" path e
-      | Ok json -> (
-        match Option.bind (Json.member "metrics" json) (Json.member "counters") with
+let load_metrics = function
+  | None -> ([], [])
+  | Some path -> (
+    match Json.of_string (read_file path) with
+    | Error e -> failf "%s: %s" path e
+    | Ok json ->
+      let section name =
+        match Option.bind (Json.member "metrics" json) (Json.member name) with
         | Some (Json.Obj fields) ->
           List.filter_map
             (fun (k, v) -> match v with Json.Int i -> Some (k, i) | _ -> None)
             fields
-        | _ -> failf "%s: no metrics.counters object" path))
-  in
+        | _ -> failf "%s: no metrics.%s object" path name
+      in
+      (section "counters", section "gauges"))
+
+let check_counts frames events report_path counters =
   let counter name = Option.value ~default:0 (List.assoc_opt name counters) in
   let count p = List.length (List.filter (fun (_, ev) -> p ev) events) in
   let dequeues = count (function Trace.Dequeue _ -> true | _ -> false) in
@@ -296,6 +454,91 @@ let check_counts frames events report_path =
          (List.length frames) expected dequeues delivered no_endpoint vm_egress
          impair_forwarded)
 
+(* INT stamps must agree with the queue's own story: every Int_hop's
+   ingress/egress must coincide with the packet's Enqueue/Dequeue pair at
+   that node and port, and (with a report) the per-port sojourn totals
+   implied by the stamps must fit under the independent
+   [txq.<node>.port<i>.sojourn_*] instruments — the cross-check behind
+   the per-hop attribution guarantee. *)
+let check_int events (counters, gauges) ~have_report =
+  let int_hops =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with
+        | Trace.Int_hop { pkt; hop; port; ingress; egress; _ } ->
+          Some (pkt, hop, port, ingress, egress)
+        | _ -> None)
+      events
+  in
+  if int_hops = [] then true (* nothing stamped; stay quiet *)
+  else begin
+    let enq = Hashtbl.create 4096 and deq = Hashtbl.create 4096 in
+    List.iter
+      (fun (now, ev) ->
+        match ev with
+        | Trace.Enqueue { node; port; pkt; _ } -> Hashtbl.replace enq (pkt, node, port) now
+        | Trace.Dequeue { node; port; pkt; _ } -> Hashtbl.replace deq (pkt, node, port) now
+        | _ -> ())
+      events;
+    let bad = ref 0 and first = ref "" in
+    List.iter
+      (fun (pkt, hop, port, ingress, egress) ->
+        let key = (pkt, hop, port) in
+        let ok =
+          Hashtbl.find_opt enq key = Some ingress && Hashtbl.find_opt deq key = Some egress
+        in
+        if not ok then begin
+          incr bad;
+          if !first = "" then first := Printf.sprintf "pkt %d at %s:%d" pkt hop port
+        end)
+      int_hops;
+    let ok1 =
+      check
+        (Printf.sprintf "INT stamps match enqueue/dequeue (%d hops)" (List.length int_hops))
+        (!bad = 0)
+        (Printf.sprintf "%d stamp(s) disagree with queue events (e.g. %s)" !bad !first)
+    in
+    let ok2 =
+      if not have_report then true
+      else begin
+        (* Per (node, port): INT is a per-packet subset of what the txq
+           sojourn instruments saw, so max <= gauge and sum/count <= the
+           counters. *)
+        let ports = Hashtbl.create 16 in
+        List.iter
+          (fun (_, hop, port, ingress, egress) ->
+            let max_s, sum_s, n =
+              Option.value ~default:(0, 0, 0) (Hashtbl.find_opt ports (hop, port))
+            in
+            let s = egress - ingress in
+            Hashtbl.replace ports (hop, port) (Stdlib.max max_s s, sum_s + s, n + 1))
+          int_hops;
+        let metric assoc name = List.assoc_opt name assoc in
+        let bad = ref 0 and first = ref "" in
+        Hashtbl.iter
+          (fun (hop, port) (max_s, sum_s, n) ->
+            let scope = Printf.sprintf "txq.%s.port%d" hop port in
+            let fail fmt = Printf.ksprintf (fun s -> incr bad; if !first = "" then first := s) fmt in
+            match
+              ( metric gauges (scope ^ ".sojourn_ns"),
+                metric counters (scope ^ ".sojourn_total_ns"),
+                metric counters (scope ^ ".sojourn_samples") )
+            with
+            | Some g, Some total, Some samples ->
+              if max_s > g then fail "%s: INT max %d > gauge %d" scope max_s g
+              else if sum_s > total then fail "%s: INT sum %d > total %d" scope sum_s total
+              else if n > samples then fail "%s: %d INT samples > %d recorded" scope n samples
+            | _ -> fail "%s: sojourn instruments missing from report" scope)
+          ports;
+        check
+          (Printf.sprintf "INT sojourns fit txq instruments (%d ports)" (Hashtbl.length ports))
+          (!bad = 0)
+          (Printf.sprintf "%d port(s) out of bounds (e.g. %s)" !bad !first)
+      end
+    in
+    ok1 && ok2
+  end
+
 let validate ~pcap ~trace ~report =
   let events = load_trace trace in
   Format.printf "validating %s against %s%s@." pcap trace
@@ -303,12 +546,14 @@ let validate ~pcap ~trace ~report =
   let frames =
     match Pcap.read (read_file pcap) with Ok f -> f | Error e -> failf "%s: %s" pcap e
   in
+  let metrics = load_metrics report in
   (* Run every check even after a failure, so one run reports them all. *)
   let c1 = check (Printf.sprintf "trace parses (%d events)" (List.length events)) true "" in
   let c2 = check_pcap_roundtrip frames in
   let c3 = check_lifecycles events in
-  let c4 = check_counts frames events report in
-  let ok = c1 && c2 && c3 && c4 in
+  let c4 = check_counts frames events report (fst metrics) in
+  let c5 = check_int events metrics ~have_report:(report <> None) in
+  let ok = c1 && c2 && c3 && c4 && c5 in
   if not ok then failf "validation failed";
   Format.printf "all checks passed@."
 
@@ -352,6 +597,18 @@ let summary_cmd =
   let doc = "per-kind event counts and the trace's time span" in
   Cmd.v (Cmd.info "summary" ~doc) Term.(ret (const run $ trace_pos))
 
+let int_cmd =
+  let flow_arg =
+    let doc =
+      "Flow $(docv) (format SRC_IP:SRC_PORT-DST_IP:DST_PORT) whose INT samples to break down \
+       hop by hop; the reverse direction (the flow's ACKs) is reported separately."
+    in
+    Arg.(required & opt (some string) None & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let run spec trace = wrap (fun () -> int_view (load_trace trace) spec) in
+  let doc = "break a flow's latency down hop-by-hop from its in-band telemetry" in
+  Cmd.v (Cmd.info "int" ~doc) Term.(ret (const run $ flow_arg $ trace_pos))
+
 let validate_cmd =
   let pcap_arg =
     let doc = "Capture file (pcap or pcapng) to validate." in
@@ -373,6 +630,6 @@ let validate_cmd =
 
 let cmd =
   let doc = "query and validate AC/DC run artifacts (traces and captures)" in
-  Cmd.group (Cmd.info "trace_query" ~doc) [ explain_cmd; summary_cmd; validate_cmd ]
+  Cmd.group (Cmd.info "trace_query" ~doc) [ explain_cmd; summary_cmd; int_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,10 @@ module Config = Config
 module Sender = Sender
 module Receiver = Receiver
 
+module Int_feedback = Int_feedback
+(** Per-hop INT samples delivered to enforced CC laws (see
+    {!Int_feedback}). *)
+
 type t
 
 val create : ?metrics:Obs.Metrics.t -> ?tracer:Obs.Trace.t -> Eventsim.Engine.t -> Config.t -> t

@@ -93,6 +93,8 @@ let report_of_run ~id ?scheme ?(config = []) ?goodputs ?timeseries () =
     Obs.Report.set_profile report (Obs.Prof.to_json ());
     List.iter (fun (key, v) -> Obs.Report.add_scalar report key v) (Obs.Prof.baselines ())
   end;
+  let sink = Obs.Runtime.int_sink () in
+  if Obs.Int_sink.touched sink then Obs.Report.set_int report (Obs.Int_sink.to_json sink);
   report
 
 (* ------------------------------------------------------------------ *)
@@ -125,7 +127,10 @@ let pctl samples p =
 (* ------------------------------------------------------------------ *)
 (* Per-run metric snapshots                                            *)
 
-let reset_run_metrics () = Obs.Runtime.reset_metrics ()
+let reset_run_metrics () =
+  Obs.Runtime.reset_metrics ();
+  Obs.Runtime.reset_int_sink ();
+  Acdc.Int_feedback.reset ()
 
 let metrics_json () = Obs.Metrics.to_json (Obs.Runtime.metrics ())
 
@@ -140,11 +145,16 @@ let run_sidecar ~id ~wall_s ~events =
       ("metrics", metrics_json ());
     ]
   in
+  let fields =
+    if Obs.Prof.touched () then
+      fields
+      @ List.map (fun (key, v) -> (key, Obs.Json.Float v)) (Obs.Prof.baselines ())
+      @ [ ("profile", Obs.Prof.to_json ()) ]
+    else fields
+  in
+  let sink = Obs.Runtime.int_sink () in
   Obs.Json.Obj
-    (if Obs.Prof.touched () then
-       fields
-       @ List.map (fun (key, v) -> (key, Obs.Json.Float v)) (Obs.Prof.baselines ())
-       @ [ ("profile", Obs.Prof.to_json ()) ]
+    (if Obs.Int_sink.touched sink then fields @ [ ("int", Obs.Int_sink.to_json sink) ]
      else fields)
 
 let write_json ~path json =

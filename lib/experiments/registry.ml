@@ -68,6 +68,9 @@ let () =
       Fig_anycc.Any_cc.(print (run ())));
   register ~id:"sec23-multipath" ~title:"ECMP collisions on a leaf-spine fabric (extension)"
     (fun () -> Fig_multipath.Ecmp.(print (run ())));
+  register ~id:"ext-int-hops"
+    ~title:"per-hop latency attribution via in-band telemetry (extension)" (fun () ->
+      Fig_int.Int_hops.(print (run ())));
   register ~id:"ext-adversarial"
     ~title:"RWND-ignoring stack is policed, honest flows unharmed (extension)" (fun () ->
       Harness.print_header "ext-adversarial" "a cheating stack under AC/DC policing (3.3)";

@@ -86,7 +86,44 @@ let egress t pkt =
   vm_tap t pkt;
   Vswitch.Datapath.process_egress t.datapath pkt ~emit:(fun p -> t.nic p)
 
-let deliver t pkt = Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:(fun p -> demux t p)
+(* The INT strip point: the receiving vSwitch removes the telemetry stack
+   before the datapath modules or the guest see the packet (the VM tap in
+   [demux] captures a clean frame), and routes the samples three ways —
+   trace events, the ambient Obs collector, and the CC feedback
+   subscription channel. *)
+let strip_int t (pkt : Packet.t) =
+  let hops = Packet.int_hops pkt in
+  let exceeded = pkt.Packet.int_exceeded in
+  Packet.clear_int pkt;
+  let now = Engine.now t.engine in
+  let flow = pkt.Packet.key in
+  if Obs.Trace.enabled t.tracer then begin
+    Array.iteri
+      (fun depth (h : Dcpkt.Int_meta.hop) ->
+        Obs.Trace.emit t.tracer ~now
+          (Obs.Trace.Int_hop
+             {
+               flow;
+               pkt = pkt.Packet.id;
+               depth;
+               hop = Dcpkt.Int_meta.name h.hop_id;
+               port = h.port;
+               ingress = h.ingress_ns;
+               egress = h.egress_ns;
+               qbytes = h.qbytes;
+               svc_bps = h.svc_bps;
+             }))
+      hops;
+    Obs.Trace.emit t.tracer ~now
+      (Obs.Trace.Int_strip
+         { node = t.name; flow; pkt = pkt.Packet.id; hops = Array.length hops; exceeded })
+  end;
+  Obs.Int_sink.absorb (Obs.Runtime.int_sink ()) ~now ~flow ~hops ~exceeded;
+  Acdc.Int_feedback.dispatch ~now ~flow hops
+
+let deliver t pkt =
+  if pkt.Packet.int_stack != [] || pkt.Packet.int_exceeded then strip_int t pkt;
+  Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:(fun p -> demux t p)
 
 let register_endpoint t endpoint =
   Flow_key.Table.replace t.endpoints (Tcp.Endpoint.key endpoint) endpoint

@@ -385,6 +385,60 @@ let render ~fingerprint ~rows ~history ~gate =
       profiled;
     add "</table>\n"
   end;
+  (* ---- hop latency panel: scenarios whose report carries an INT section *)
+  let with_int =
+    List.filter_map
+      (fun r ->
+        match r.report >>= Obs.Json.member "int" with
+        | Some section -> Some (r, section)
+        | None -> None)
+      rows
+  in
+  if with_int <> [] then begin
+    add "<h2>Hop latency: in-band telemetry</h2>\n<table>\n";
+    add
+      "<tr><th>scenario</th><th>stamped pkts</th><th>hop samples</th><th>path sojourn p50 \
+       (&micro;s)</th><th>p99 (&micro;s)</th><th>max (&micro;s)</th><th>worst hop (by p99 \
+       sojourn)</th></tr>\n";
+    List.iter
+      (fun (r, section) ->
+        let int_field name = Option.value (Obs.Json.member name section >>= number) ~default:0.0 in
+        let path name =
+          match Obs.Json.member "path_sojourn_ns" section >>= Obs.Json.member name >>= number with
+          | Some v -> Printf.sprintf "%.1f" (v /. 1000.0)
+          | None -> "&mdash;"
+        in
+        let worst =
+          match Obs.Json.member "per_hop" section with
+          | Some (Obs.Json.Obj hops) ->
+            List.filter_map
+              (fun (label, hop) ->
+                Obs.Json.member "sojourn_ns" hop >>= Obs.Json.member "p99" >>= number
+                >>= fun p99 -> Some (label, p99))
+              hops
+            |> List.fold_left
+                 (fun acc (label, p99) ->
+                   match acc with
+                   | Some (_, best) when best >= p99 -> acc
+                   | _ -> Some (label, p99))
+                 None
+            |> Option.map (fun (label, p99) ->
+                   Printf.sprintf "<code>%s</code> %.1f&nbsp;&micro;s" (esc label)
+                     (p99 /. 1000.0))
+            |> Option.value ~default:"&mdash;"
+          | _ -> "&mdash;"
+        in
+        add
+          (Printf.sprintf
+             "<tr><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td \
+              class=\"num\">%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td></tr>\n"
+             (esc r.id)
+             (fmt_g (int_field "packets"))
+             (fmt_g (int_field "hops"))
+             (path "p50") (path "p99") (path "max") worst))
+      with_int;
+    add "</table>\n"
+  end;
   (* ---- per-scenario provenance table ---- *)
   add "<h2>Scenario corpus</h2>\n<table>\n";
   add

@@ -1,10 +1,16 @@
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
 module Packet = Dcpkt.Packet
+module Int_meta = Dcpkt.Int_meta
 module Metrics = Obs.Metrics
 module Trace = Obs.Trace
 
 type ecn_config = { mark_threshold : int; byte_mode_ref : int option }
+
+(* Service-rate estimation window.  Matches the register_probes sampling
+   interval, so the in-band estimate and the out-of-band svc_gbps channel
+   describe the same timescale. *)
+let svc_window_ns = 100_000
 
 type port = {
   txq : Txq.t;
@@ -13,6 +19,13 @@ type port = {
   (* Cumulative bytes serialized onto the wire: the numerator of the
      per-port service-rate telemetry channel (INT-style per-hop state). *)
   mutable tx_bytes : int;
+  (* Windowed service-rate estimate stamped into INT hops: bytes
+     serialized over the last [svc_window_ns], falling back to the
+     configured line rate until the first window closes.  Driven by
+     tx-complete events only — fully deterministic. *)
+  mutable svc_win_start : Time_ns.t;
+  mutable svc_win_bytes : int;
+  mutable svc_bps : int;
 }
 
 type t = {
@@ -29,6 +42,8 @@ type t = {
   mutable nports : int;
   routes : (int, int array) Hashtbl.t;
   mutable buffer_used : int;
+  (* INT identity: stamped as [hop_id] into every telemetry hop. *)
+  hop_id : int;
   m_input : Metrics.counter;
   m_forwarded_packets : Metrics.counter;
   m_forwarded_bytes : Metrics.counter;
@@ -54,6 +69,7 @@ let create ?metrics ?tracer engine ?(name = "sw") ?(buffer_capacity = 9 * 1024 *
     nports = 0;
     routes = Hashtbl.create 64;
     buffer_used = 0;
+    hop_id = Int_meta.register ~name;
     m_input = Metrics.scope_counter scope "input_packets";
     m_forwarded_packets = Metrics.scope_counter scope "forwarded_packets";
     m_forwarded_bytes = Metrics.scope_counter scope "forwarded_bytes";
@@ -69,12 +85,32 @@ let add_port t ~rate_bps ~prop_delay ?jitter ~deliver () =
     Txq.create t.engine ~tracer:t.tracer ~node:t.name ~port:idx ~rate_bps ~prop_delay ~jitter
       ~deliver
   in
-  let port = { txq; drops = 0; max_queue = 0; tx_bytes = 0 } in
+  let port =
+    {
+      txq;
+      drops = 0;
+      max_queue = 0;
+      tx_bytes = 0;
+      svc_win_start = Time_ns.zero;
+      svc_win_bytes = 0;
+      svc_bps = rate_bps;
+    }
+  in
   (* Free exactly what admission charged: the enqueue-time size travels
      with the packet, so a mutation while queued cannot leak buffer. *)
   Txq.set_on_tx_complete txq (fun _pkt ~size ->
       t.buffer_used <- t.buffer_used - size;
-      port.tx_bytes <- port.tx_bytes + size);
+      port.tx_bytes <- port.tx_bytes + size;
+      if Int_meta.enabled () then begin
+        port.svc_win_bytes <- port.svc_win_bytes + size;
+        let now = Engine.now t.engine in
+        let span = Time_ns.diff now port.svc_win_start in
+        if span >= svc_window_ns then begin
+          port.svc_bps <- port.svc_win_bytes * 8 * 1_000_000_000 / span;
+          port.svc_win_start <- now;
+          port.svc_win_bytes <- 0
+        end
+      end);
   let capacity = Array.length t.ports in
   if idx >= capacity then begin
     (* Double the capacity; the new slots are filled with [port] and the
@@ -164,6 +200,26 @@ let input_unprofiled t pkt =
         | Some _ | None -> true
       in
       if admitted then begin
+        (* INT stamping happens at admission, so the hop records the queue
+           state the packet actually found.  The stamp grows the packet,
+           so the size charged to buffer and wire is recomputed; admission
+           itself was checked against the pre-stamp size (a <=13-byte
+           slack, like real INT inserting metadata after policing). *)
+        let size =
+          if Int_meta.enabled () then begin
+            Packet.add_int_hop pkt
+              {
+                Int_meta.hop_id = t.hop_id;
+                port = idx;
+                ingress_ns = Engine.now t.engine;
+                egress_ns = 0;
+                qbytes;
+                svc_bps = port.svc_bps;
+              };
+            Packet.wire_size pkt
+          end
+          else size
+        in
         t.buffer_used <- t.buffer_used + size;
         Metrics.set_max t.g_buffer_max t.buffer_used;
         Metrics.incr t.m_forwarded_packets;
@@ -235,5 +291,8 @@ let reset_counters t =
     let p = t.ports.(i) in
     p.drops <- 0;
     p.max_queue <- 0;
-    p.tx_bytes <- 0
+    p.tx_bytes <- 0;
+    p.svc_win_start <- Time_ns.zero;
+    p.svc_win_bytes <- 0;
+    p.svc_bps <- Txq.rate_bps p.txq
   done

@@ -8,9 +8,10 @@ type t = {
   prop_delay : Time_ns.t;
   jitter : (Eventsim.Rng.t * Time_ns.t) option;
   deliver : Packet.t -> unit;
-  (* Each entry carries its enqueue-time wire size: packets are mutable and
-     an option rewrite while queued must not unbalance the byte books. *)
-  queue : (Packet.t * int) Queue.t;
+  (* Each entry carries its enqueue-time wire size (packets are mutable and
+     an option rewrite while queued must not unbalance the byte books) and
+     its enqueue time, the basis of the sojourn instruments below. *)
+  queue : (Packet.t * int * Time_ns.t) Queue.t;
   tracer : Obs.Trace.t;
   pcap : Obs.Pcap.t;
   iface : string;
@@ -19,11 +20,20 @@ type t = {
   mutable queued_bytes : int;
   mutable busy : bool;
   mutable on_tx_complete : Packet.t -> size:int -> unit;
+  (* Queue-residency instruments (enqueue -> serialization complete), an
+     INT-independent cross-check for the telemetry a switch stamps: the
+     gauge keeps the high-water sojourn, the counters let a validator
+     bound per-hop INT samples against this queue's own books. *)
+  g_sojourn : Obs.Metrics.gauge;
+  c_sojourn_total : Obs.Metrics.counter;
+  c_sojourn_samples : Obs.Metrics.counter;
 }
 
-let create ?tracer ?pcap ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay ~jitter
-    ~deliver =
+let create ?metrics ?tracer ?pcap ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_delay
+    ~jitter ~deliver =
   assert (rate_bps > 0);
+  let registry = match metrics with Some m -> m | None -> Obs.Runtime.metrics () in
+  let scope = Obs.Metrics.scope registry (Printf.sprintf "txq.%s.port%d" node port) in
   {
     engine;
     rate_bps;
@@ -39,6 +49,9 @@ let create ?tracer ?pcap ?(node = "txq") ?(port = 0) engine ~rate_bps ~prop_dela
     queued_bytes = 0;
     busy = false;
     on_tx_complete = (fun _ ~size:_ -> ());
+    g_sojourn = Obs.Metrics.scope_gauge scope "sojourn_ns";
+    c_sojourn_total = Obs.Metrics.scope_counter scope "sojourn_total_ns";
+    c_sojourn_samples = Obs.Metrics.scope_counter scope "sojourn_samples";
   }
 
 let set_on_tx_complete t f = t.on_tx_complete <- f
@@ -53,10 +66,19 @@ let tx_time t ~bytes = bytes * 8 * 1_000_000_000 / t.rate_bps
 let rec start_next t =
   match Queue.take_opt t.queue with
   | None -> t.busy <- false
-  | Some (pkt, size) ->
+  | Some (pkt, size, enq_ns) ->
     t.busy <- true;
     let finish_unprofiled () =
       t.queued_bytes <- t.queued_bytes - size;
+      let now = Engine.now t.engine in
+      let sojourn = Time_ns.diff now enq_ns in
+      Obs.Metrics.set_max t.g_sojourn sojourn;
+      Obs.Metrics.add t.c_sojourn_total sojourn;
+      Obs.Metrics.incr t.c_sojourn_samples;
+      (* Close the top INT hop (if the upstream switch opened one) before
+         the trace/capture taps run, so the frame on the wire — and in
+         the pcap — carries the completed stamp. *)
+      if pkt.Packet.int_stack != [] then Packet.complete_int_hop pkt ~egress_ns:now;
       if Obs.Trace.enabled t.tracer then
         Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
           (Obs.Trace.Dequeue
@@ -101,7 +123,7 @@ let enqueue_unprofiled ?size t pkt =
     Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
       (Obs.Trace.Enqueue
          { node = t.node; port = t.port; pkt = pkt.Packet.id; size; qbytes = t.queued_bytes });
-  Queue.add (pkt, size) t.queue;
+  Queue.add (pkt, size, Engine.now t.engine) t.queue;
   if not t.busy then start_next t
 
 let enqueue ?size t pkt =

@@ -8,6 +8,7 @@
 type t
 
 val create :
+  ?metrics:Obs.Metrics.t ->
   ?tracer:Obs.Trace.t ->
   ?pcap:Obs.Pcap.t ->
   ?node:string ->
@@ -28,7 +29,16 @@ val create :
 
     [pcap] (default: the ambient {!Obs.Runtime.pcap}) captures each frame
     on interface ["node:port"] at the moment it finishes serializing, so
-    the capture shows the header state downstream nodes will see. *)
+    the capture shows the header state downstream nodes will see.
+
+    [metrics] (default: the ambient {!Obs.Runtime.metrics}) receives
+    queue-residency instruments under scope ["txq.<node>.port<i>"]: a
+    [sojourn_ns] high-water gauge plus [sojourn_total_ns] /
+    [sojourn_samples] counters, measured enqueue to
+    serialization-complete for every packet.  They double as an
+    INT-independent cross-check of stamped hop latency (see
+    {!Dcpkt.Int_meta}); the queue also closes the packet's open INT hop
+    at serialization time, before the trace and capture taps fire. *)
 
 val enqueue : ?size:int -> t -> Dcpkt.Packet.t -> unit
 (** [size] (default: the packet's current {!Dcpkt.Packet.wire_size}) is the

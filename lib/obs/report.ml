@@ -8,6 +8,7 @@ type t = {
   mutable percentiles : (string * Json.t) list;
   mutable metrics : Json.t option;
   mutable profile : Json.t option;
+  mutable int_section : Json.t option;
   mutable timeseries : timeseries_ref list;
 }
 
@@ -20,6 +21,7 @@ let create ?(schema = "acdc-report/1") ~id () =
     percentiles = [];
     metrics = None;
     profile = None;
+    int_section = None;
     timeseries = [];
   }
 
@@ -73,6 +75,8 @@ let set_metrics t registry = t.metrics <- Some (Metrics.to_json registry)
 
 let set_profile t p = t.profile <- Some p
 
+let set_int t j = t.int_section <- Some j
+
 let embed_timeseries t ts = t.timeseries <- Embedded ts :: t.timeseries
 
 let reference_timeseries t ~dir ts = t.timeseries <- Referenced (dir, ts) :: t.timeseries
@@ -109,12 +113,16 @@ let to_json t =
       ("timeseries", Json.List (List.rev_map timeseries_json t.timeseries));
     ]
   in
-  (* [profile] is optional and appended after the fixed sections so
-     profile-free reports stay byte-identical to the pre-profiler schema. *)
+  (* [profile] and [int] are optional and appended after the fixed
+     sections so runs without them stay byte-identical to the earlier
+     schema. *)
+  let fields =
+    match t.profile with None -> fields | Some p -> fields @ [ ("profile", p) ]
+  in
   Json.Obj
-    (match t.profile with
+    (match t.int_section with
     | None -> fields
-    | Some p -> fields @ [ ("profile", p) ])
+    | Some j -> fields @ [ ("int", j) ])
 
 let write t ~path =
   let oc = open_out path in

@@ -33,6 +33,11 @@ val set_profile : t -> Json.t -> unit
 (** Attach a profiling section (normally {!Prof.to_json}); rendered as a
     trailing ["profile"] field.  Reports without one are unchanged. *)
 
+val set_int : t -> Json.t -> unit
+(** Attach an in-band telemetry section (normally {!Int_sink.to_json});
+    rendered as a trailing ["int"] field after [profile].  Reports
+    without one are unchanged. *)
+
 val embed_timeseries : t -> Timeseries.t -> unit
 (** Inline every channel's points into the report. *)
 
@@ -43,7 +48,7 @@ val reference_timeseries : t -> dir:string -> Timeseries.t -> unit
 
 val to_json : t -> Json.t
 (** Sections in fixed order: schema, id, config, scalars, percentiles,
-    metrics, timeseries, then [profile] when one was attached —
+    metrics, timeseries, then [profile] and [int] when attached —
     deterministic for deterministic inputs. *)
 
 val write : t -> path:string -> unit

@@ -66,6 +66,12 @@ let close_profile () =
   folded_out := None;
   Prof.set_enabled false
 
+let the_int_sink = Int_sink.create ()
+
+let int_sink () = the_int_sink
+
+let reset_int_sink () = Int_sink.reset the_int_sink
+
 let timeseries_sink = ref None
 
 let set_timeseries_sink ~dir = timeseries_sink := Some dir

@@ -91,3 +91,13 @@ val timeseries_dir : unit -> string option
 val export_timeseries : Timeseries.t -> unit
 (** {!Timeseries.write_csv_dir} into the configured sink directory, or a
     no-op when none is set. *)
+
+(** {2 In-band telemetry sink}
+
+    The ambient {!Int_sink} receiving every INT stack the fabric's hosts
+    strip.  Hosts pick it up per strip (not at construction), so enabling
+    INT mid-process needs no rebuild; drivers reset it between runs like
+    the metrics registry. *)
+
+val int_sink : unit -> Int_sink.t
+val reset_int_sink : unit -> unit

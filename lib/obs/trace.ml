@@ -26,6 +26,18 @@ type event =
   | Policer_drop of { flow : Flow_key.t; pkt : int; seq : int; window : int }
   | Dupack of { flow : Flow_key.t; ack : int; count : int }
   | Rto_fire of { flow : Flow_key.t; inferred : bool; count : int }
+  | Int_hop of {
+      flow : Flow_key.t;
+      pkt : int;
+      depth : int;
+      hop : string;
+      port : int;
+      ingress : int;
+      egress : int;
+      qbytes : int;
+      svc_bps : int;
+    }
+  | Int_strip of { node : string; flow : Flow_key.t; pkt : int; hops : int; exceeded : bool }
 
 type ring = {
   slots : (Time_ns.t * event) option array;
@@ -137,6 +149,8 @@ let kind_of_event = function
   | Policer_drop _ -> "policer_drop"
   | Dupack _ -> "dupack"
   | Rto_fire _ -> "rto"
+  | Int_hop _ -> "int_hop"
+  | Int_strip _ -> "int_strip"
 
 let flow_of_event = function
   | Created { flow; _ }
@@ -145,7 +159,9 @@ let flow_of_event = function
   | Alpha_update { flow; _ }
   | Policer_drop { flow; _ }
   | Dupack { flow; _ }
-  | Rto_fire { flow; _ } -> Some flow
+  | Rto_fire { flow; _ }
+  | Int_hop { flow; _ }
+  | Int_strip { flow; _ } -> Some flow
   | Enqueue _ | Dequeue _ | Drop _ | Ce_mark _ | Impaired _ | Vswitch_drop _ | Delivered _ ->
     None
 
@@ -160,7 +176,9 @@ let pkt_of_event = function
   | Delivered { pkt; _ }
   | Pack_attach { pkt; _ }
   | Rwnd_rewrite { pkt; _ }
-  | Policer_drop { pkt; _ } -> Some pkt
+  | Policer_drop { pkt; _ }
+  | Int_hop { pkt; _ }
+  | Int_strip { pkt; _ } -> Some pkt
   | Alpha_update _ | Dupack _ | Rto_fire _ -> None
 
 let pkt_kind (p : Packet.t) =
@@ -284,6 +302,28 @@ let event_to_json ~now event =
         ("flow", Json.String (flow_label flow));
         ("inferred", Json.Bool inferred);
         ("count", Json.Int count);
+      ]
+  | Int_hop { flow; pkt; depth; hop; port; ingress; egress; qbytes; svc_bps } ->
+    base'
+      [
+        ("flow", Json.String (flow_label flow));
+        ("pkt", Json.Int pkt);
+        ("depth", Json.Int depth);
+        ("hop", Json.String hop);
+        ("port", Json.Int port);
+        ("ingress", Json.Int ingress);
+        ("egress", Json.Int egress);
+        ("qbytes", Json.Int qbytes);
+        ("svc_bps", Json.Int svc_bps);
+      ]
+  | Int_strip { node; flow; pkt; hops; exceeded } ->
+    base'
+      [
+        ("node", Json.String node);
+        ("flow", Json.String (flow_label flow));
+        ("pkt", Json.Int pkt);
+        ("hops", Json.Int hops);
+        ("exceeded", Json.Bool exceeded);
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -419,6 +459,24 @@ let event_of_json json =
       let* inferred = bool "inferred" in
       let* count = int "count" in
       Ok (Rto_fire { flow; inferred; count })
+    | "int_hop" ->
+      let* flow = flow "flow" in
+      let* pkt = int "pkt" in
+      let* depth = int "depth" in
+      let* hop = str "hop" in
+      let* port = int "port" in
+      let* ingress = int "ingress" in
+      let* egress = int "egress" in
+      let* qbytes = int "qbytes" in
+      let* svc_bps = int "svc_bps" in
+      Ok (Int_hop { flow; pkt; depth; hop; port; ingress; egress; qbytes; svc_bps })
+    | "int_strip" ->
+      let* node = str "node" in
+      let* flow = flow "flow" in
+      let* pkt = int "pkt" in
+      let* hops = int "hops" in
+      let* exceeded = bool "exceeded" in
+      Ok (Int_strip { node; flow; pkt; hops; exceeded })
     | _ -> Error (Printf.sprintf "unknown event kind %S" ev)
   in
   Ok (now, event)
@@ -569,3 +627,10 @@ let pp_event fmt event =
     Format.fprintf fmt "dupack  %a ack=%d #%d" flow f ack count
   | Rto_fire { flow = f; inferred; count } ->
     Format.fprintf fmt "rto     %a %s#%d" flow f (if inferred then "(inferred) " else "") count
+  | Int_hop { flow = f; pkt; depth; hop; port; ingress; egress; qbytes; svc_bps } ->
+    Format.fprintf fmt "int-hop %a pkt=%d [%d] %s:%d sojourn=%dns q=%d svc=%.1fG" flow f pkt
+      depth hop port (egress - ingress) qbytes
+      (float_of_int svc_bps /. 1e9)
+  | Int_strip { node; flow = f; pkt; hops; exceeded } ->
+    Format.fprintf fmt "int     %s %a pkt=%d hops=%d%s" node flow f pkt hops
+      (if exceeded then " (exceeded)" else "")

@@ -69,6 +69,24 @@ type event =
   | Rto_fire of { flow : Dcpkt.Flow_key.t; inferred : bool; count : int }
       (** [inferred] distinguishes the vSwitch's inactivity-timer inference
           (§3.1) from a real endpoint RTO. *)
+  | Int_hop of {
+      flow : Dcpkt.Flow_key.t;
+      pkt : int;
+      depth : int;
+      hop : string;
+      port : int;
+      ingress : int;
+      egress : int;
+      qbytes : int;
+      svc_bps : int;
+    }
+      (** One stamped telemetry hop, emitted (in path order, [depth]
+          0-based) when the receiving vSwitch strips the packet's INT
+          stack.  [ingress]/[egress] are the full-precision virtual-clock
+          stamps from the model, not the quantized wire fields. *)
+  | Int_strip of { node : string; flow : Dcpkt.Flow_key.t; pkt : int; hops : int; exceeded : bool }
+      (** Summary of one stripped stack; [exceeded] records that some
+          switch found no option space left and skipped stamping. *)
 
 type t
 (** A tracer: a sink plus its enabled flag. *)
@@ -144,6 +162,10 @@ val created : ?kind:string -> node:string -> Dcpkt.Packet.t -> event
 val kind_of_event : event -> string
 (** The event's JSON ["ev"] tag (["created"], ["enqueue"], ...), which is
     also the vocabulary of [kind=] filters. *)
+
+val action_label : impair_action -> string
+(** The impairment's JSON ["action"] tag (["lost"], ["corrupted"], ...);
+    [trace_query summary] keys its per-kind impairment breakdown on it. *)
 
 val flow_of_event : event -> Dcpkt.Flow_key.t option
 (** The 4-tuple, for flow-keyed events. *)

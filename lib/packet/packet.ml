@@ -21,6 +21,8 @@ type t = {
   mutable vm_ect : bool;
   mutable rwnd_field : int;
   mutable options : tcp_option list;
+  mutable int_stack : Int_meta.hop list;
+  mutable int_exceeded : bool;
   payload : int;
   mutable sent_at : Eventsim.Time_ns.t;
 }
@@ -47,6 +49,8 @@ let make ~key ?(seq = 0) ?(ack = 0) ?(syn = false) ?(fin = false) ?(rst = false)
     vm_ect = false;
     rwnd_field;
     options;
+    int_stack = [];
+    int_exceeded = false;
     payload;
     sent_at = Eventsim.Time_ns.zero;
   }
@@ -67,7 +71,13 @@ let option_bytes = function
 (* 14 Ethernet + 20 IP + 20 TCP. *)
 let base_header = 54
 
-let header_bytes t = base_header + List.fold_left (fun acc o -> acc + option_bytes o) 0 t.options
+let plain_option_bytes t = List.fold_left (fun acc o -> acc + option_bytes o) 0 t.options
+
+let int_shim_bytes t =
+  if t.int_stack == [] && not t.int_exceeded then 0
+  else Int_meta.shim_wire_bytes ~hops:(List.length t.int_stack)
+
+let header_bytes t = base_header + plain_option_bytes t + int_shim_bytes t
 
 let wire_size t = header_bytes t + t.payload
 
@@ -110,6 +120,39 @@ let sack_blocks t =
   with
   | Some blocks -> blocks
   | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* INT hop stack                                                       *)
+
+(* TCP's 4-bit data offset caps options at 40 wire bytes (padding
+   included), so the stack depth a packet can carry depends on what else
+   it already holds — a PACK-bearing ACK fits one hop fewer than a data
+   segment.  When the next hop would not fit, the switch sets the
+   exceeded flag instead of stamping, the INT convention for running out
+   of metadata space. *)
+let max_tcp_option_bytes = 40
+
+let pad4 n = (n + 3) land lnot 3
+
+let can_add_int_hop t =
+  pad4
+    (plain_option_bytes t + Int_meta.shim_wire_bytes ~hops:(List.length t.int_stack + 1))
+  <= max_tcp_option_bytes
+
+let add_int_hop t hop =
+  if can_add_int_hop t then t.int_stack <- hop :: t.int_stack else t.int_exceeded <- true
+
+let complete_int_hop t ~egress_ns =
+  match t.int_stack with
+  | h :: tl when h.Int_meta.egress_ns = 0 ->
+    t.int_stack <- { h with Int_meta.egress_ns } :: tl
+  | _ -> ()
+
+let int_hops t = Array.of_list (List.rev t.int_stack)
+
+let clear_int t =
+  t.int_stack <- [];
+  t.int_exceeded <- false
 
 (* ------------------------------------------------------------------ *)
 (* Wire serialization: Ethernet / IPv4 / TCP                           *)
@@ -177,7 +220,7 @@ let tcp_checksum b ~tcp_off ~tcp_len ~payload =
   set16 pseudo 10 (tcp_len + payload);
   fold_checksum (ones_sum (ones_sum 0 pseudo ~off:0 ~len:12) b ~off:tcp_off ~len:tcp_len)
 
-let encode_options options =
+let encode_options t =
   let buf = Buffer.create 16 in
   List.iter
     (fun o ->
@@ -207,7 +250,26 @@ let encode_options options =
             Buffer.add_int32_be buf (Int32.of_int (s land 0xFFFFFFFF));
             Buffer.add_int32_be buf (Int32.of_int (e land 0xFFFFFFFF)))
           blocks)
-    options;
+    t.options;
+  (* The INT shim rides after the regular options (notably after PACK on
+     AC/DC ACKs): kind, length, count byte (bit 7 = exceeded), then the
+     hops oldest-first in their quantized wire form. *)
+  if t.int_stack != [] || t.int_exceeded then begin
+    let hops = List.rev t.int_stack in
+    let n = List.length hops in
+    Buffer.add_uint8 buf Int_meta.option_kind;
+    Buffer.add_uint8 buf (Int_meta.shim_wire_bytes ~hops:n);
+    Buffer.add_uint8 buf ((if t.int_exceeded then 0x80 else 0) lor (n land 0x7F));
+    List.iter
+      (fun h ->
+        let q = Int_meta.quantize h in
+        Buffer.add_uint8 buf q.Int_meta.hop_id;
+        Buffer.add_uint8 buf q.Int_meta.port;
+        Buffer.add_int32_be buf (Int32.of_int q.Int_meta.egress_ns);
+        Buffer.add_uint16_be buf (q.Int_meta.qbytes / Int_meta.qbytes_unit);
+        Buffer.add_uint16_be buf (q.Int_meta.svc_bps / Int_meta.svc_unit))
+      hops
+  end;
   (* Pad to a 32-bit boundary with end-of-option-list bytes so the data
      offset is expressible; the model's [option_bytes] accounting stays
      unpadded, exactly like an skb's truesize vs. wire bytes. *)
@@ -217,7 +279,9 @@ let encode_options options =
   Buffer.contents buf
 
 let to_wire t =
-  let opts = encode_options t.options in
+  let opts = encode_options t in
+  if String.length opts > max_tcp_option_bytes then
+    invalid_arg "Packet.to_wire: options exceed the 40-byte TCP option space";
   let tcp_len = 20 + String.length opts in
   let ip_total = 20 + tcp_len + t.payload in
   if ip_total > 0xFFFF then
@@ -260,8 +324,13 @@ let to_wire t =
 
 exception Wire of string
 
+(* Returns the plain options plus the INT stack (newest-first, matching
+   the model's [int_stack]) and the exceeded flag. *)
 let decode_options b ~off ~len =
   let stop = off + len in
+  let int_stack = ref [] in
+  let int_exceeded = ref false in
+  let int_seen = ref false in
   let rec loop acc pos =
     if pos >= stop then List.rev acc
     else
@@ -272,34 +341,63 @@ let decode_options b ~off ~len =
         if pos + 2 > stop then raise (Wire "truncated TCP option");
         let olen = Bytes.get_uint8 b (pos + 1) in
         if olen < 2 || pos + olen > stop then raise (Wire "bad TCP option length");
-        let opt =
-          if kind = 2 then begin
-            if olen <> 4 then raise (Wire "bad MSS option length");
-            Mss (Bytes.get_uint16_be b (pos + 2))
-          end
-          else if kind = 3 then begin
-            if olen <> 3 then raise (Wire "bad window-scale option length");
-            Window_scale (Bytes.get_uint8 b (pos + 2))
-          end
-          else if kind = 5 then begin
-            if olen < 10 || (olen - 2) mod 8 <> 0 then raise (Wire "bad SACK option length");
-            let blocks =
-              List.init
-                ((olen - 2) / 8)
-                (fun i -> (get32 b (pos + 2 + (8 * i)), get32 b (pos + 6 + (8 * i))))
-            in
-            Sack blocks
-          end
-          else if kind = pack_option_kind then begin
-            if olen <> 8 then raise (Wire "bad PACK option length");
-            let get24 p = (Bytes.get_uint8 b p lsl 16) lor Bytes.get_uint16_be b (p + 1) in
-            Pack { total_bytes = get24 (pos + 2); marked_bytes = get24 (pos + 5) }
-          end
-          else raise (Wire (Printf.sprintf "unknown TCP option kind %d" kind))
-        in
-        loop (opt :: acc) (pos + olen)
+        if kind = Int_meta.option_kind then begin
+          if !int_seen then raise (Wire "duplicate INT option");
+          int_seen := true;
+          let count_byte = if olen >= 3 then Bytes.get_uint8 b (pos + 2) else 0 in
+          let n = count_byte land 0x7F in
+          if olen <> Int_meta.shim_wire_bytes ~hops:n then
+            raise (Wire "bad INT option length");
+          int_exceeded := count_byte land 0x80 <> 0;
+          for i = 0 to n - 1 do
+            let p = pos + 3 + (i * Int_meta.hop_wire_bytes) in
+            (* Wire hops are already quantized: sojourn lives in
+               [egress_ns] with a zero ingress, exactly what
+               [Int_meta.quantize] produces, so re-encoding is the
+               identity. *)
+            int_stack :=
+              {
+                Int_meta.hop_id = Bytes.get_uint8 b p;
+                port = Bytes.get_uint8 b (p + 1);
+                ingress_ns = 0;
+                egress_ns = get32 b (p + 2);
+                qbytes = Bytes.get_uint16_be b (p + 6) * Int_meta.qbytes_unit;
+                svc_bps = Bytes.get_uint16_be b (p + 8) * Int_meta.svc_unit;
+              }
+              :: !int_stack
+          done;
+          loop acc (pos + olen)
+        end
+        else
+          let opt =
+            if kind = 2 then begin
+              if olen <> 4 then raise (Wire "bad MSS option length");
+              Mss (Bytes.get_uint16_be b (pos + 2))
+            end
+            else if kind = 3 then begin
+              if olen <> 3 then raise (Wire "bad window-scale option length");
+              Window_scale (Bytes.get_uint8 b (pos + 2))
+            end
+            else if kind = 5 then begin
+              if olen < 10 || (olen - 2) mod 8 <> 0 then raise (Wire "bad SACK option length");
+              let blocks =
+                List.init
+                  ((olen - 2) / 8)
+                  (fun i -> (get32 b (pos + 2 + (8 * i)), get32 b (pos + 6 + (8 * i))))
+              in
+              Sack blocks
+            end
+            else if kind = pack_option_kind then begin
+              if olen <> 8 then raise (Wire "bad PACK option length");
+              let get24 p = (Bytes.get_uint8 b p lsl 16) lor Bytes.get_uint16_be b (p + 1) in
+              Pack { total_bytes = get24 (pos + 2); marked_bytes = get24 (pos + 5) }
+            end
+            else raise (Wire (Printf.sprintf "unknown TCP option kind %d" kind))
+          in
+          loop (opt :: acc) (pos + olen)
   in
-  loop [] off
+  let options = loop [] off in
+  (options, !int_stack, !int_exceeded)
 
 let of_wire s =
   try
@@ -329,6 +427,7 @@ let of_wire s =
         ~dst_port:(Bytes.get_uint16_be b 36)
     in
     let flags = Bytes.get_uint8 b 47 in
+    let options, int_stack, int_exceeded = decode_options b ~off:54 ~len:(tcp_len - 20) in
     Ok
       {
         (* The wire carries the low 16 bits of the simulator id in the
@@ -346,7 +445,9 @@ let of_wire s =
         ecn = ecn_of_bits (Bytes.get_uint8 b 15 land 0x3);
         vm_ect = Bytes.get_uint8 b 46 land 0x1 <> 0;
         rwnd_field = Bytes.get_uint16_be b 48;
-        options = decode_options b ~off:54 ~len:(tcp_len - 20);
+        options;
+        int_stack;
+        int_exceeded;
         payload;
         sent_at = Eventsim.Time_ns.zero;
       }

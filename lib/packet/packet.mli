@@ -37,6 +37,12 @@ type t = {
           the original setting (§3.2). *)
   mutable rwnd_field : int;  (** 16-bit window field, before scaling *)
   mutable options : tcp_option list;
+  mutable int_stack : Int_meta.hop list;
+      (** in-band telemetry hops, newest-first (the head is the hop the
+          packet is currently transiting); pushed by switches, stripped by
+          the receiving vSwitch before the guest sees the packet *)
+  mutable int_exceeded : bool;
+      (** set by a switch that found no room to stamp another hop *)
   payload : int;  (** payload bytes (0 for pure ACKs) *)
   mutable sent_at : Eventsim.Time_ns.t;  (** stamped by the sending endpoint *)
 }
@@ -93,6 +99,30 @@ val sack_blocks : t -> (int * int) list
 val pack_info : t -> (int * int) option
 (** [(total_bytes, marked_bytes)] from a PACK option, if present. *)
 
+(** {2 INT hop stack}
+
+    Per-hop telemetry stamped by switches (see {!Int_meta}).  The stack
+    counts toward [header_bytes]/[wire_size], so stamped packets really
+    grow on the wire and in buffers. *)
+
+val can_add_int_hop : t -> bool
+(** Whether one more hop still fits the 40-byte TCP option space
+    alongside the packet's other options (padding included). *)
+
+val add_int_hop : t -> Int_meta.hop -> unit
+(** Push a hop, or set [int_exceeded] when {!can_add_int_hop} is false. *)
+
+val complete_int_hop : t -> egress_ns:int -> unit
+(** Fill the top hop's egress timestamp if it is still open (egress 0).
+    Hops completed at earlier switches are left untouched. *)
+
+val int_hops : t -> Int_meta.hop array
+(** The stack in path order (first hop first). *)
+
+val clear_int : t -> unit
+(** Strip the stack and the exceeded flag (done by the receiving
+    vSwitch before guest delivery). *)
+
 (** {2 Wire serialization}
 
     A deterministic Ethernet/IPv4/TCP rendering of the segment, so a
@@ -106,10 +136,14 @@ val to_wire : t -> string
     codepoint in the TOS byte, the low 16 bits of [id] in the
     identification field, valid header checksum), and the TCP header with
     all options encoded — MSS (kind 2), window scale (kind 3), SACK
-    (kind 5) and PACK as the RFC 4727 experimental kind 253 carrying two
-    24-bit cumulative counters.  [vm_ect] rides in the low TCP reserved
-    bit.  Options are padded to a 32-bit boundary on the wire (the
-    model's [header_bytes]/[wire_size] accounting stays unpadded).
+    (kind 5), PACK as the RFC 4727 experimental kind 253 carrying two
+    24-bit cumulative counters, and the INT hop stack as kind 254
+    appended after the other options (see {!Int_meta}; hops are carried
+    in their quantized wire form, so full-precision ingress/egress
+    timestamps live only in the model and the trace).  [vm_ect] rides in
+    the low TCP reserved bit.  Options are padded to a 32-bit boundary
+    on the wire (the model's [header_bytes]/[wire_size] accounting stays
+    unpadded, though the INT shim itself counts).
 
     Payload bytes are never materialized: captures snap frames at the
     header, recording [wire_size] as the original length.  The TCP

@@ -559,6 +559,42 @@ let prop_window_and_alpha_invariants =
         w >= mss && w < 1 lsl 30 && alpha >= 0.0 && alpha <= 1.0
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* INT feedback channel                                                *)
+
+let test_int_feedback_subscriptions () =
+  Acdc.Int_feedback.reset ();
+  let other = Flow_key.make ~src_ip:9 ~dst_ip:10 ~src_port:1 ~dst_port:2 in
+  let hop =
+    {
+      Dcpkt.Int_meta.hop_id = 0;
+      port = 0;
+      ingress_ns = 100;
+      egress_ns = 300;
+      qbytes = 512;
+      svc_bps = 10_000_000_000;
+    }
+  in
+  let filtered = ref 0 and all = ref 0 in
+  let sub_f = Acdc.Int_feedback.subscribe ~flow:key (fun ~now:_ ~flow:_ _ -> incr filtered) in
+  let sub_a = Acdc.Int_feedback.subscribe (fun ~now:_ ~flow:_ _ -> incr all) in
+  check_int "two subscribers" 2 (Acdc.Int_feedback.subscriber_count ());
+  let dispatch flow = Acdc.Int_feedback.dispatch ~now:0 ~flow [| hop |] in
+  dispatch key;
+  dispatch rkey;
+  dispatch other;
+  (* Flow matching ignores orientation: ACK-borne telemetry arrives
+     under the reversed 4-tuple but belongs to the same subscription. *)
+  check_int "filtered sees both directions only" 2 !filtered;
+  check_int "unfiltered sees everything" 3 !all;
+  Acdc.Int_feedback.unsubscribe sub_f;
+  dispatch key;
+  check_int "unsubscribed stops delivery" 2 !filtered;
+  check_int "survivor still delivered" 4 !all;
+  Acdc.Int_feedback.unsubscribe sub_a;
+  check_int "all unsubscribed" 0 (Acdc.Int_feedback.subscriber_count ());
+  Acdc.Int_feedback.reset ()
+
 let acdc_qtests = List.map QCheck_alcotest.to_alcotest [ prop_window_and_alpha_invariants ]
 
 let () =
@@ -623,5 +659,7 @@ let () =
         ] );
       ( "processor",
         [ Alcotest.test_case "end-to-end feedback" `Quick test_processor_end_to_end_feedback ] );
+      ( "int feedback",
+        [ Alcotest.test_case "subscriptions" `Quick test_int_feedback_subscriptions ] );
       ("properties", acdc_qtests);
     ]

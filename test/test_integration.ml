@@ -540,6 +540,121 @@ let test_sequential_app_ordering () =
   check_bool "completion callback" true !all_done;
   check_int "three FCTs" 3 (Dcstats.Samples.count fct)
 
+(* ------------------------------------------------------------------ *)
+(* In-band telemetry                                                   *)
+
+(* INT is process-global state (enable flag, ambient sink, feedback
+   registry), so every test scrubs it on the way in and restores the
+   default-off flag on the way out. *)
+let with_int f =
+  Obs.Runtime.reset_metrics ();
+  Obs.Runtime.reset_int_sink ();
+  Acdc.Int_feedback.reset ();
+  Dcpkt.Int_meta.set_enabled true;
+  Fun.protect ~finally:(fun () -> Dcpkt.Int_meta.set_enabled false) f
+
+(* The stamps and the txq sojourn instruments observe the same two
+   instants (admission, serialization-complete) through independent code
+   paths; summed per port they must agree.  Stripped stacks are a subset
+   of serialized packets (packets still on the wire at cutoff were
+   counted by the txq but never delivered), hence subset plus a 1% bound
+   on the busiest port rather than exact equality. *)
+let test_int_attribution_matches_txq () =
+  with_int @@ fun () ->
+  let scheme = Experiments.Harness.acdc () in
+  let net = Experiments.Harness.dumbbell scheme ~pairs:1 () in
+  let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs:1 in
+  let per_port : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let sub =
+    Acdc.Int_feedback.subscribe (fun ~now:_ ~flow:_ hops ->
+        Array.iter
+          (fun (h : Dcpkt.Int_meta.hop) ->
+            let scope = Printf.sprintf "txq.%s.port%d" (Dcpkt.Int_meta.name h.hop_id) h.port in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt per_port scope) in
+            Hashtbl.replace per_port scope (prev + Dcpkt.Int_meta.sojourn_ns h))
+          hops)
+  in
+  ignore
+    (Experiments.Harness.measure_goodput net conns ~warmup:(Time_ns.ms 50)
+       ~duration:(Time_ns.ms 100));
+  Acdc.Int_feedback.unsubscribe sub;
+  Topology.shutdown net;
+  let metrics = Obs.Runtime.metrics () in
+  let busiest = ref ("", 0, 0) in
+  Hashtbl.iter
+    (fun scope stamped ->
+      match Obs.Metrics.find metrics (scope ^ ".sojourn_total_ns") with
+      | None -> Alcotest.failf "no txq sojourn instrument for %s" scope
+      | Some total ->
+        check_bool (scope ^ ": stamped subset of serialized") true (stamped <= total);
+        let _, _, best = !busiest in
+        if total > best then busiest := (scope, stamped, total))
+    per_port;
+  check_bool "stamped both directions' switch ports" true (Hashtbl.length per_port >= 2);
+  let scope, stamped, total = !busiest in
+  check_bool
+    (Printf.sprintf "%s: attribution within 1%% (%d vs %d)" scope stamped total)
+    true
+    (total - stamped <= total / 100)
+
+(* Four switches in the parking lot but only three hops fit the 40-byte
+   TCP option budget: the fourth sets the exceeded flag instead. *)
+let test_int_option_space_exceeded () =
+  with_int @@ fun () ->
+  let scheme = Experiments.Harness.acdc () in
+  let params = Experiments.Harness.params_for scheme Params.default in
+  let engine = Engine.create () in
+  let net =
+    Topology.parking_lot engine ~params
+      ~acdc:(Experiments.Harness.acdc_select scheme params)
+      ~senders:4 ()
+  in
+  let config = Experiments.Harness.host_config scheme params in
+  let conn =
+    Conn.establish ~src:(Topology.host net 0) ~dst:(Topology.host net 4) ~config ()
+  in
+  Conn.send_forever conn;
+  let max_depth = ref 0 in
+  let sub =
+    Acdc.Int_feedback.subscribe (fun ~now:_ ~flow:_ hops ->
+        max_depth := max !max_depth (Array.length hops))
+  in
+  Engine.run ~until:(Time_ns.ms 50) engine;
+  Acdc.Int_feedback.unsubscribe sub;
+  Topology.shutdown net;
+  check_int "option space caps the stack at 3 hops" 3 !max_depth;
+  match Obs.Json.member "exceeded" (Obs.Int_sink.to_json (Obs.Runtime.int_sink ())) with
+  | Some (Obs.Json.Int n) -> check_bool "exceeded flag counted" true (n > 0)
+  | _ -> Alcotest.fail "int sink report section lacks an exceeded count"
+
+(* Seeded INT runs must be byte-identical: the stamps ride the virtual
+   clock and deterministic hop-id registration, nothing wall-clock. *)
+let test_int_trace_deterministic () =
+  let one_run () =
+    with_int @@ fun () ->
+    Dcpkt.Packet.reset_ids ();
+    let buf = Buffer.create 65536 in
+    Obs.Runtime.set_tracer (Obs.Trace.jsonl ~write:(Buffer.add_string buf));
+    Fun.protect ~finally:(fun () -> Obs.Runtime.set_tracer Obs.Trace.null) @@ fun () ->
+    let scheme = Experiments.Harness.acdc () in
+    let net = Experiments.Harness.dumbbell scheme ~pairs:2 () in
+    let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs:2 in
+    ignore
+      (Experiments.Harness.measure_goodput net conns ~warmup:(Time_ns.ms 10)
+         ~duration:(Time_ns.ms 40));
+    Topology.shutdown net;
+    Buffer.contents buf
+  in
+  let a = one_run () in
+  let b = one_run () in
+  check_bool "trace is non-trivial" true (String.length a > 10_000);
+  check_bool "int_hop events present" true
+    (let re = "\"ev\":\"int_hop\"" in
+     let n = String.length a and m = String.length re in
+     let rec scan i = i + m <= n && (String.sub a i m = re || scan (i + 1)) in
+     scan 0);
+  check_bool "byte-identical across runs" true (String.equal a b)
+
 let () =
   Alcotest.run "integration"
     [
@@ -568,6 +683,13 @@ let () =
           Alcotest.test_case "connection churn bounded" `Slow
             test_connection_churn_bounded_state;
           Alcotest.test_case "teardown unregisters" `Quick test_teardown_unregisters_endpoints;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "int attribution matches txq" `Quick
+            test_int_attribution_matches_txq;
+          Alcotest.test_case "int option space exceeded" `Quick test_int_option_space_exceeded;
+          Alcotest.test_case "int trace deterministic" `Quick test_int_trace_deterministic;
         ] );
       ( "topologies",
         [

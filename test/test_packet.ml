@@ -50,6 +50,72 @@ let prop_compare_consistent_with_equal =
     (QCheck.pair arbitrary_key arbitrary_key)
     (fun (a, b) -> Flow_key.equal a b = (Flow_key.compare a b = 0))
 
+(* Wire round-trip: random flag/option/INT-depth combinations must
+   serialize and re-parse byte-exactly — the invariant behind pcap
+   captures and `trace_query validate`.  Hops are pushed through
+   [add_int_hop] so the 40-byte option-space cap (and the exceeded flag
+   it sets) is exercised, not bypassed. *)
+let hop_gen =
+  QCheck.Gen.(
+    map
+      (fun ((hop_id, port, ingress), (sojourn, qbytes, svc_units)) ->
+        {
+          Dcpkt.Int_meta.hop_id;
+          port;
+          ingress_ns = ingress;
+          egress_ns = ingress + sojourn;
+          qbytes;
+          svc_bps = svc_units * 10_000_000;
+        })
+      (pair
+         (triple (int_bound 300) (int_bound 300) (int_bound 1_000_000_000))
+         (triple (int_bound 500_000_000) (int_bound 1_000_000) (int_bound 10_000))))
+
+let wire_packet_gen =
+  QCheck.Gen.(
+    map
+      (fun (((key, flags), (ecn_i, rwnd)), ((opts, sack_n), (payload, hops))) ->
+        let bit n = flags land n <> 0 in
+        let ecn = [| Packet.Not_ect; Packet.Ect0; Packet.Ect1; Packet.Ce |].(ecn_i) in
+        let options =
+          (if opts land 1 <> 0 then [ Packet.Mss 1460 ] else [])
+          @ (if opts land 2 <> 0 then [ Packet.Window_scale 7 ] else [])
+          @ (if opts land 4 <> 0 then
+               [ Packet.Pack { total_bytes = 123_456; marked_bytes = 2_345 } ]
+             else [])
+          @
+          if opts land 8 <> 0 then
+            [ Packet.Sack (List.init (sack_n + 1) (fun i -> (i * 2000, (i * 2000) + 1000))) ]
+          else []
+        in
+        let pkt =
+          Packet.make ~key ~seq:17 ~ack:23 ~syn:(bit 1) ~fin:(bit 2) ~rst:(bit 4)
+            ~has_ack:(bit 8) ~ecn ~rwnd_field:rwnd ~options ~payload ()
+        in
+        pkt.Packet.ece <- bit 16;
+        pkt.Packet.cwr <- bit 32;
+        pkt.Packet.vm_ect <- bit 64;
+        List.iter (Packet.add_int_hop pkt) hops;
+        if bit 128 then pkt.Packet.int_exceeded <- true;
+        pkt)
+      (pair
+         (pair (pair key_gen (int_bound 255)) (pair (int_bound 3) (int_bound 65535)))
+         (pair
+            (pair (int_bound 15) (int_bound 1))
+            (pair (int_bound 9000) (list_size (int_bound 5) hop_gen)))))
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"to_wire/of_wire round-trips byte-exactly" ~count:500
+    (QCheck.make wire_packet_gen) (fun pkt ->
+      let w = Packet.to_wire pkt in
+      match Packet.of_wire w with
+      | Error e -> QCheck.Test.fail_reportf "of_wire failed: %s" e
+      | Ok pkt' ->
+        String.equal (Packet.to_wire pkt') w
+        && List.length pkt'.Packet.int_stack = List.length pkt.Packet.int_stack
+        && pkt'.Packet.int_exceeded = pkt.Packet.int_exceeded
+        && pkt'.Packet.payload = pkt.Packet.payload)
+
 (* ------------------------------------------------------------------ *)
 (* Packets                                                             *)
 
@@ -106,7 +172,8 @@ let test_ids_unique () =
   check_bool "distinct ids" true (a.Packet.id <> b.Packet.id)
 
 let qtests =
-  List.map QCheck_alcotest.to_alcotest [ prop_reverse_involution; prop_compare_consistent_with_equal ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_reverse_involution; prop_compare_consistent_with_equal; prop_wire_roundtrip ]
 
 let () =
   Alcotest.run "packet"
