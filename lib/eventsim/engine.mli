@@ -3,14 +3,47 @@
     An engine owns a virtual clock and an event queue.  Components schedule
     closures at absolute or relative times; [run] drains the queue in
     timestamp order, advancing the clock.  Timers are cancellable handles on
-    top of the same queue. *)
+    top of the same queue.
+
+    {2 Determinism contract}
+
+    Events fire in timestamp order; events sharing an instant fire in the
+    order they were scheduled (FIFO).  [run ~until] fires every event with
+    time [<= until] — an event scheduled {e exactly at} [until] fires, it
+    does not stay queued — and leaves the clock at [until] with strictly
+    later events still pending.  Both queue backends implement this
+    contract bit-for-bit; the differential harness in
+    [test/test_eventsim.ml] holds them to it.
+
+    {2 Backends}
+
+    The queue is either the hierarchical {!Timing_wheel} (default: O(1)
+    amortized, pooled cells, allocation-free hot path) or the legacy
+    binary {!Event_heap} (O(log n), kept as the differential-testing
+    oracle).  The process-wide default comes from the [ACDC_SCHED]
+    environment variable (["wheel"] or ["heap"]); individual engines can
+    override it at [create]. *)
 
 type t
+
+type backend = Heap | Wheel
+
+val backend_of_string : string -> backend option
+val backend_name : backend -> string
+
+val default_backend : unit -> backend
+(** The ambient backend for [create]: initialized from [ACDC_SCHED]
+    (["wheel"] when unset; an unrecognized value raises at startup). *)
+
+val set_default_backend : backend -> unit
+(** Override the ambient backend — used by the cross-scheduler identity
+    tests to run the same seeded scenario once per queue implementation. *)
 
 type timer
 (** A cancellable scheduled event. *)
 
-val create : unit -> t
+val create : ?backend:backend -> unit -> t
+val backend : t -> backend
 
 val now : t -> Time_ns.t
 (** Current virtual time. *)
@@ -22,23 +55,57 @@ val schedule : t -> at:Time_ns.t -> (unit -> unit) -> unit
 val schedule_after : t -> delay:Time_ns.t -> (unit -> unit) -> unit
 (** Schedule relative to [now]. *)
 
+(** {2 Static-site scheduling (allocation-free)}
+
+    [schedule] captures its callback as a closure — one heap block per
+    event.  For hot sites where the code to run is the same every time
+    (txq tx-complete, link delivery, timer fire) register the code {e
+    once} as a handler and schedule it with its arguments; the engine
+    stores handler and arguments in a pooled event record, so a
+    steady-state simulation schedules packets without allocating.
+
+    A handler must be created at module initialization (once per call
+    site), never per event — that would just be a closure with extra
+    steps. *)
+
+type ('a, 'b) handler
+
+val handler : ('a -> 'b -> unit) -> ('a, 'b) handler
+(** Register a static call site.  The function must be monomorphic at its
+    use sites; the handler fixes ['a] and ['b] for every later
+    [schedule_static]. *)
+
+val schedule_static : t -> at:Time_ns.t -> ('a, 'b) handler -> 'a -> 'b -> unit
+(** Like [schedule] but allocation-free: the two arguments ride in the
+    pooled event cell.  Pass [()] for an unused slot. *)
+
+val schedule_static_after : t -> delay:Time_ns.t -> ('a, 'b) handler -> 'a -> 'b -> unit
+
 val timer_after : t -> delay:Time_ns.t -> (unit -> unit) -> timer
-(** Like [schedule_after] but returns a handle that can be cancelled. *)
+(** Like [schedule_after] but returns a handle that can be cancelled.
+    The queue cell is pooled; only the handle itself is allocated. *)
 
 val cancel : timer -> unit
-(** Cancelling a fired or already-cancelled timer is a no-op. *)
+(** Cancelling a fired or already-cancelled timer is a no-op.  The dead
+    event stays queued (and counted by [pending_events]) until its due
+    time, when it is discarded without firing. *)
 
 val timer_pending : timer -> bool
 
 val run : ?until:Time_ns.t -> t -> unit
-(** Process events in order until the queue is empty, or until the clock
-    would pass [until] (remaining events stay queued and the clock is left
-    at [until]). *)
+(** Process events in order until the queue is empty, or until every
+    remaining event is strictly later than [until].  Events at exactly
+    [until] fire; afterwards the clock is left at [until] (even if the
+    queue emptied earlier) with strictly later events still queued. *)
 
 val step : t -> bool
 (** Process a single event.  Returns [false] if the queue was empty. *)
 
 val pending_events : t -> int
+
+val free_events : t -> int
+(** Size of the engine's pooled-event free list — exposed for the
+    reclamation stress tests. *)
 
 val events_processed : t -> int
 (** Events fired by this engine so far. *)

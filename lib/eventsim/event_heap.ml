@@ -83,4 +83,34 @@ let pop h =
   end
   else pop_unprofiled h
 
+let pop_until h ~limit =
+  if h.size > 0 && h.entries.(0).time <= limit then pop h else None
+
+(* Allocation-free extraction (no [Some]/tuple per pop), mirroring
+   {!Timing_wheel.pop_or}: the engine recovers the timestamp from its own
+   pooled event record. *)
+let pop_or_unprofiled h ~none =
+  if h.size = 0 then none
+  else begin
+    let root = h.entries.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.entries.(0) <- h.entries.(h.size);
+      sift_down h 0
+    end;
+    root.value
+  end
+
+let pop_or h ~none =
+  if !Profcore.on then begin
+    let tok = Profcore.enter Profcore.Site.heap_pop in
+    let r = pop_or_unprofiled h ~none in
+    Profcore.leave tok;
+    r
+  end
+  else pop_or_unprofiled h ~none
+
+let pop_until_or h ~limit ~none =
+  if h.size > 0 && h.entries.(0).time <= limit then pop_or h ~none else none
+
 let clear h = h.size <- 0

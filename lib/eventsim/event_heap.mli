@@ -19,4 +19,16 @@ val peek_time : 'a t -> Time_ns.t option
 val pop : 'a t -> (Time_ns.t * 'a) option
 (** Remove and return the earliest event. *)
 
+val pop_until : 'a t -> limit:Time_ns.t -> (Time_ns.t * 'a) option
+(** [pop] only if the earliest event's time is [<= limit]; otherwise
+    [None] and the event stays queued. *)
+
+val pop_or : 'a t -> none:'a -> 'a
+(** Allocation-free [pop]: returns [none] when empty, and no [Some] /
+    tuple is built.  The engine stamps its pooled event records with
+    their due time, so the timestamp needs no separate return. *)
+
+val pop_until_or : 'a t -> limit:Time_ns.t -> none:'a -> 'a
+(** Allocation-free [pop_until]. *)
+
 val clear : 'a t -> unit

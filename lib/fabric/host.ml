@@ -13,6 +13,11 @@ type t = {
   pcap : Obs.Pcap.t;
   vm_iface : string;
   mutable nic : Packet.t -> unit;
+  (* Per-host closures built once at [create]: the egress/ingress paths
+     hand these to the datapath instead of allocating a closure per
+     packet. *)
+  mutable emit_fn : Packet.t -> unit;
+  mutable demux_fn : Packet.t -> unit;
   mutable next_port : int;
   mutable no_route_drops : int;
 }
@@ -69,11 +74,15 @@ let create engine ~ip ?acdc () =
       pcap = Obs.Runtime.pcap ();
       vm_iface = name ^ ".vm";
       nic = ignore;
+      emit_fn = ignore;
+      demux_fn = ignore;
       next_port = 10_000;
       no_route_drops = 0;
     }
   in
-  Option.iter (fun instance -> Acdc.set_vm_injector instance (fun pkt -> demux t pkt)) acdc;
+  t.emit_fn <- (fun p -> t.nic p);
+  t.demux_fn <- (fun p -> demux t p);
+  Option.iter (fun instance -> Acdc.set_vm_injector instance t.demux_fn) acdc;
   t
 
 let ip t = t.ip
@@ -84,7 +93,7 @@ let set_nic t f = t.nic <- f
 
 let egress t pkt =
   vm_tap t pkt;
-  Vswitch.Datapath.process_egress t.datapath pkt ~emit:(fun p -> t.nic p)
+  Vswitch.Datapath.process_egress t.datapath pkt ~emit:t.emit_fn
 
 (* The INT strip point: the receiving vSwitch removes the telemetry stack
    before the datapath modules or the guest see the packet (the VM tap in
@@ -123,7 +132,7 @@ let strip_int t (pkt : Packet.t) =
 
 let deliver t pkt =
   if pkt.Packet.int_stack != [] || pkt.Packet.int_exceeded then strip_int t pkt;
-  Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:(fun p -> demux t p)
+  Vswitch.Datapath.process_ingress t.datapath pkt ~deliver:t.demux_fn
 
 let register_endpoint t endpoint =
   Flow_key.Table.replace t.endpoints (Tcp.Endpoint.key endpoint) endpoint

@@ -153,6 +153,10 @@ let trace t (pkt : Packet.t) action =
     Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
       (Obs.Trace.Impaired { link = t.link; pkt = pkt.Packet.id; action })
 
+(* Delayed handoff rides a pooled engine cell — impaired links sit on the
+   forwarding hot path, so no per-frame closure. *)
+let deliver_h : (t, Packet.t) Engine.handler = Engine.handler (fun t pkt -> t.deliver pkt)
+
 let emit t pkt =
   let delay = sample_delay t.rng t.config.jitter in
   let delay =
@@ -169,7 +173,7 @@ let emit t pkt =
   if Obs.Pcap.enabled t.pcap then
     Obs.Pcap.capture t.pcap ~iface:t.link ~now:(Engine.now t.engine) pkt;
   if delay = Time_ns.zero then t.deliver pkt
-  else Engine.schedule_after t.engine ~delay (fun () -> t.deliver pkt)
+  else Engine.schedule_static_after t.engine ~delay deliver_h t pkt
 
 let deliver_unprofiled t pkt =
   Metrics.incr t.c_offered;

@@ -31,6 +31,32 @@ let next_id = ref 0
 
 let reset_ids () = next_id := 0
 
+(* Placeholder for pooled-ring slots (txq waiting/delivery rings).  Built
+   directly — not via [make] — so initializing a pool does not bump
+   [next_id] and perturb seeded packet-id sequences.  Never put on a
+   wire. *)
+let dummy =
+  {
+    id = 0;
+    key = Flow_key.make ~src_ip:0 ~dst_ip:0 ~src_port:0 ~dst_port:0;
+    seq = 0;
+    ack = 0;
+    syn = false;
+    fin = false;
+    rst = false;
+    has_ack = false;
+    ece = false;
+    cwr = false;
+    ecn = Not_ect;
+    vm_ect = false;
+    rwnd_field = 0;
+    options = [];
+    int_stack = [];
+    int_exceeded = false;
+    payload = 0;
+    sent_at = Eventsim.Time_ns.zero;
+  }
+
 let make ~key ?(seq = 0) ?(ack = 0) ?(syn = false) ?(fin = false) ?(rst = false)
     ?(has_ack = false) ?(ecn = Not_ect) ?(rwnd_field = 0xFFFF) ?(options = []) ~payload () =
   incr next_id;

@@ -50,6 +50,11 @@ type t = {
 val reset_ids : unit -> unit
 (** Reset the global id counter (test isolation). *)
 
+val dummy : t
+(** A shared placeholder (id 0) for initializing pooled packet rings.
+    Constructed without touching the id counter, so pool setup cannot
+    perturb seeded packet-id sequences.  Never transmit it. *)
+
 val make :
   key:Flow_key.t ->
   ?seq:int ->

@@ -72,6 +72,10 @@ type t = {
   mutable high_rxt : int; (* retransmission cursor within the holes *)
   mutable rxt_out : int; (* retransmitted bytes estimated still in flight *)
   mutable rto_timer : Engine.timer option;
+  (* Timer actions built once per endpoint (lazily, at first arm) instead
+     of once per arming — RTO rearms on every ACK. *)
+  mutable rto_action : unit -> unit;
+  mutable delack_action : unit -> unit;
   mutable rtt_seq : int; (* seq_end being timed, -1 if none *)
   mutable rtt_sent_at : Time_ns.t;
   mutable app_bytes : int; (* cumulative bytes handed to us by the app *)
@@ -100,6 +104,12 @@ type t = {
 
 let data_start = 1 (* client ISS = 0; SYN consumes one sequence number *)
 
+(* "Not built yet" sentinel for the per-endpoint timer actions: a single
+   static closure, so physical equality is a reliable test.  ([ignore]
+   won't do — the primitive eta-expands to a fresh closure per use
+   site.) *)
+let unset_action () = ()
+
 let create ?tracer engine config ~key ~out ~is_client =
   {
     engine;
@@ -124,6 +134,8 @@ let create ?tracer engine config ~key ~out ~is_client =
     high_rxt = 0;
     rxt_out = 0;
     rto_timer = None;
+    rto_action = unset_action;
+    delack_action = unset_action;
     rtt_seq = -1;
     rtt_sent_at = Time_ns.zero;
     app_bytes = 0;
@@ -248,7 +260,8 @@ let rec arm_rto t =
   cancel_rto t;
   if t.snd_una < t.snd_nxt then begin
     let delay = Rto.timeout t.rto in
-    t.rto_timer <- Some (Engine.timer_after t.engine ~delay (fun () -> handle_rto t))
+    if t.rto_action == unset_action then t.rto_action <- (fun () -> handle_rto t);
+    t.rto_timer <- Some (Engine.timer_after t.engine ~delay t.rto_action)
   end
 
 and syn_packet t =
@@ -457,15 +470,17 @@ let handle_data t (pkt : Packet.t) =
   if must_ack_now then ack_now t
   else begin
     t.unacked_segments <- 1;
-    if t.delack_timer = None then
-      t.delack_timer <-
-        Some
-          (Engine.timer_after t.engine ~delay:(Time_ns.us 500) (fun () ->
-               t.delack_timer <- None;
-               if t.unacked_segments > 0 then begin
-                 t.unacked_segments <- 0;
-                 send_pure_ack t
-               end))
+    if t.delack_timer = None then begin
+      if t.delack_action == unset_action then
+        t.delack_action <-
+          (fun () ->
+            t.delack_timer <- None;
+            if t.unacked_segments > 0 then begin
+              t.unacked_segments <- 0;
+              send_pure_ack t
+            end);
+      t.delack_timer <- Some (Engine.timer_after t.engine ~delay:(Time_ns.us 500) t.delack_action)
+    end
   end
 
 (* ------------------------------------------------------------------ *)

@@ -1,6 +1,7 @@
 module Engine = Eventsim.Engine
 module Time_ns = Eventsim.Time_ns
 module Event_heap = Eventsim.Event_heap
+module Timing_wheel = Eventsim.Timing_wheel
 module Rng = Eventsim.Rng
 
 let check_int = Alcotest.(check int)
@@ -78,6 +79,182 @@ let prop_heap_sorted =
         | Some (t, _) -> t >= last && ordered t
       in
       ordered min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Timing wheel                                                        *)
+
+(* 32^7 ns: timestamps differing from the wheel position by at least this
+   much land in the overflow list. *)
+let horizon = 1 lsl 35
+
+let drain_wheel w =
+  let rec loop acc =
+    match Timing_wheel.pop w with None -> List.rev acc | Some (_, v) -> loop (v :: acc)
+  in
+  loop []
+
+let test_wheel_ordering () =
+  let w = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.push w ~time:t t) [ 5; 1; 9; 3; 7; 2; 8 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain_wheel w)
+
+let test_wheel_fifo_ties () =
+  let w = Timing_wheel.create () in
+  List.iter (fun v -> Timing_wheel.push w ~time:42 v) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "insertion order preserved" [ 1; 2; 3; 4; 5 ] (drain_wheel w)
+
+(* Timestamps straddling every level boundary: slot 0 vs 31 of level 0, the
+   first instants of levels 1..6, and offsets inside coarse slots that only
+   sort correctly if the cascade re-files them. *)
+let test_wheel_cascade_boundaries () =
+  let times =
+    [ 0; 31; 32; 33; 1023; 1024; 1055; 32768; 32769; 1 lsl 20; (1 lsl 20) + 7;
+      1 lsl 25; (1 lsl 25) + 1; 1 lsl 30; (1 lsl 30) + (1 lsl 5); horizon - 1 ]
+  in
+  let w = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.push w ~time:t t) (List.rev times);
+  Alcotest.(check (list int)) "cascades preserve order" times (drain_wheel w)
+
+let test_wheel_overflow () =
+  let w = Timing_wheel.create () in
+  (* Mix in-horizon and far-future events; the far ones must park in the
+     overflow list and still come out in global time order. *)
+  let far = [ horizon + 5; 3 * horizon; (2 * horizon) + 17; horizon ] in
+  let near = [ 10; 999; 123_456 ] in
+  List.iter (fun t -> Timing_wheel.push w ~time:t t) (far @ near);
+  check_bool "overflow populated" true (Timing_wheel.overflow_length w > 0);
+  Alcotest.(check (list int))
+    "global order across the horizon"
+    (List.sort compare (far @ near))
+    (drain_wheel w)
+
+let test_wheel_push_past_rejected () =
+  let w = Timing_wheel.create () in
+  Timing_wheel.push w ~time:100 100;
+  (match Timing_wheel.pop w with
+  | Some (100, _) -> ()
+  | _ -> Alcotest.fail "expected pop at 100");
+  let raised =
+    try
+      Timing_wheel.push w ~time:50 50;
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "pushing before the wheel position raises" true raised;
+  (* The current position itself is still legal (same-instant schedule). *)
+  Timing_wheel.push w ~time:100 101;
+  Alcotest.(check (option (pair int int))) "same instant ok" (Some (100, 101))
+    (Timing_wheel.pop w)
+
+let test_wheel_peek () =
+  let w = Timing_wheel.create () in
+  Alcotest.(check (option int)) "empty" None (Timing_wheel.peek_time w);
+  Timing_wheel.push w ~time:5_000 0;
+  Timing_wheel.push w ~time:40 1;
+  Alcotest.(check (option int)) "min" (Some 40) (Timing_wheel.peek_time w);
+  check_int "peek does not remove" 2 (Timing_wheel.length w);
+  (* Peek must find the true minimum inside a coarse slot, not the list
+     head. *)
+  let w2 = Timing_wheel.create () in
+  Timing_wheel.push w2 ~time:1_055 0;
+  Timing_wheel.push w2 ~time:1_030 1;
+  Alcotest.(check (option int)) "min within coarse slot" (Some 1_030)
+    (Timing_wheel.peek_time w2);
+  (* And in the overflow list. *)
+  let w3 = Timing_wheel.create () in
+  Timing_wheel.push w3 ~time:(3 * horizon) 0;
+  Timing_wheel.push w3 ~time:(2 * horizon) 1;
+  Alcotest.(check (option int)) "overflow min" (Some (2 * horizon)) (Timing_wheel.peek_time w3)
+
+let test_wheel_pop_until () =
+  let w = Timing_wheel.create () in
+  List.iter (fun t -> Timing_wheel.push w ~time:t t) [ 10; 20; 30 ];
+  Alcotest.(check (option (pair int int))) "within limit" (Some (10, 10))
+    (Timing_wheel.pop_until w ~limit:25);
+  Alcotest.(check (option (pair int int))) "at limit inclusive" (Some (20, 20))
+    (Timing_wheel.pop_until w ~limit:20);
+  Alcotest.(check (option (pair int int))) "beyond limit stays" None
+    (Timing_wheel.pop_until w ~limit:25);
+  check_int "remaining" 1 (Timing_wheel.length w);
+  (* A bounded pop must not advance the position past schedulable times:
+     scheduling at an instant between the limit and the remaining event
+     must still be legal. *)
+  Timing_wheel.push w ~time:26 26;
+  Alcotest.(check (list int)) "later insert honored" [ 26; 30 ] (drain_wheel w)
+
+let test_wheel_pool_reclaim () =
+  let w = Timing_wheel.create () in
+  for i = 1 to 1_000 do
+    Timing_wheel.push w ~time:i i
+  done;
+  check_int "no free cells while full" 0 (Timing_wheel.free_cells w);
+  ignore (drain_wheel w);
+  check_int "all cells reclaimed" 1_000 (Timing_wheel.free_cells w);
+  for i = 1_001 to 2_000 do
+    Timing_wheel.push w ~time:i i
+  done;
+  check_int "reused, not reallocated" 0 (Timing_wheel.free_cells w);
+  Timing_wheel.clear w;
+  check_int "clear reclaims" 1_000 (Timing_wheel.free_cells w);
+  check_bool "cleared" true (Timing_wheel.is_empty w)
+
+(* Structure-level differential: identical interleaved push/pop/pop_until
+   scripts against the binary heap, which is the ordering oracle.  Pushes
+   are anchored at the latest extracted time so both structures accept
+   them (the wheel cannot travel backwards). *)
+let prop_wheel_matches_heap =
+  let op_gen =
+    QCheck.(
+      oneof
+        [
+          (* small deltas exercise level 0/1 *)
+          map (fun d -> `Push d) (int_bound 100);
+          (* large deltas exercise cascades *)
+          map (fun d -> `Push (d * 9_973)) (int_bound 10_000);
+          (* beyond-horizon deltas exercise overflow + migration *)
+          map (fun d -> `Push (horizon + d)) (int_bound 1_000);
+          map (fun () -> `Pop) unit;
+          map (fun d -> `Pop_until d) (int_bound 5_000);
+        ])
+  in
+  QCheck.Test.make ~name:"timing wheel matches heap on random scripts" ~count:500
+    QCheck.(list_of_size Gen.(1 -- 200) op_gen)
+    (fun ops ->
+      let h = Event_heap.create () in
+      let w = Timing_wheel.create () in
+      let anchor = ref 0 in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push d ->
+            let time = !anchor + d in
+            let v = !next in
+            incr next;
+            Event_heap.push h ~time v;
+            Timing_wheel.push w ~time v
+          | `Pop ->
+            let a = Event_heap.pop h and b = Timing_wheel.pop w in
+            if a <> b then ok := false;
+            (match a with Some (t, _) -> anchor := t | None -> ())
+          | `Pop_until d ->
+            let limit = !anchor + d in
+            let a = Event_heap.pop_until h ~limit and b = Timing_wheel.pop_until w ~limit in
+            if a <> b then ok := false;
+            (* Mirror the engine contract: after a bounded extraction the
+               clock stands at the limit (cascades may have advanced the
+               wheel position up to it), so later pushes anchor there. *)
+            (match a with Some (t, _) -> anchor := t | None -> anchor := max !anchor limit))
+        ops;
+      (* Drain both completely: every remaining event must agree too. *)
+      let rec drain () =
+        let a = Event_heap.pop h and b = Timing_wheel.pop w in
+        if a <> b then ok := false;
+        if a <> None || b <> None then drain ()
+      in
+      drain ();
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -160,6 +337,172 @@ let test_step () =
   check_bool "exhausted" false (Engine.step engine)
 
 (* ------------------------------------------------------------------ *)
+(* Differential engine harness: heap vs wheel                          *)
+
+(* A script is interpreted identically against a heap-backed and a
+   wheel-backed engine; the trace of observable effects — which ops fired,
+   at what clock reading, plus clock/pending checkpoints after every
+   [Run_for] — must match exactly.  Same-instant bursts probe FIFO
+   tie-breaks, [Far] probes the overflow path, [Cancel_refire] probes
+   cancel-then-rearm, and nested scheduling from inside callbacks probes
+   scheduling at the current instant. *)
+type script_op =
+  | Sched of int (* delay from now *)
+  | Burst of int * int (* delay, count: same-instant FIFO probe *)
+  | Timer_op of int
+  | Cancel_nth of int (* cancel the nth timer created so far (mod) *)
+  | Cancel_refire of int * int (* cancel nth, schedule a fresh timer *)
+  | Far of int (* delay past the wheel horizon *)
+  | Nested of int * int (* outer delay, inner delay scheduled on fire *)
+  | Run_for of int
+
+let interpret backend script =
+  let engine = Engine.create ~backend () in
+  let log = ref [] in
+  let emit tag = log := (tag, Engine.now engine) :: !log in
+  let timers = ref [||] in
+  let add_timer tmr = timers := Array.append !timers [| tmr |] in
+  let nth_timer n =
+    if Array.length !timers = 0 then None else Some !timers.(n mod Array.length !timers)
+  in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Sched d -> Engine.schedule_after engine ~delay:d (fun () -> emit (i, 0))
+      | Burst (d, n) ->
+        for j = 0 to (n - 1) land 7 do
+          Engine.schedule_after engine ~delay:d (fun () -> emit (i, j))
+        done
+      | Timer_op d -> add_timer (Engine.timer_after engine ~delay:d (fun () -> emit (i, 0)))
+      | Cancel_nth n -> (
+        match nth_timer n with Some t -> Engine.cancel t | None -> ())
+      | Cancel_refire (n, d) ->
+        (match nth_timer n with Some t -> Engine.cancel t | None -> ());
+        add_timer (Engine.timer_after engine ~delay:d (fun () -> emit (i, 1)))
+      | Far d ->
+        Engine.schedule_after engine ~delay:(horizon + d) (fun () -> emit (i, 0))
+      | Nested (d1, d2) ->
+        Engine.schedule_after engine ~delay:d1 (fun () ->
+            emit (i, 0);
+            Engine.schedule_after engine ~delay:d2 (fun () -> emit (i, 1)))
+      | Run_for d ->
+        Engine.run ~until:(Time_ns.add (Engine.now engine) d) engine;
+        emit (-1 - i, Engine.pending_events engine))
+    script;
+  Engine.run engine;
+  (List.rev !log, Engine.now engine, Engine.events_processed engine)
+
+let script_gen =
+  QCheck.(
+    list_of_size
+      Gen.(1 -- 60)
+      (oneof
+         [
+           map (fun d -> Sched d) (int_bound 10_000);
+           map (fun (d, n) -> Burst (d, n)) (pair (int_bound 1_000) (int_range 1 8));
+           map (fun d -> Timer_op d) (int_bound 10_000);
+           map (fun n -> Cancel_nth n) small_nat;
+           map (fun (n, d) -> Cancel_refire (n, d)) (pair small_nat (int_bound 10_000));
+           map (fun d -> Far d) (int_bound 1_000_000);
+           map (fun (a, b) -> Nested (a, b)) (pair (int_bound 5_000) (int_bound 100));
+           map (fun d -> Run_for d) (int_bound 20_000);
+         ]))
+
+let prop_engines_identical =
+  QCheck.Test.make ~name:"heap and wheel engines fire identically" ~count:1000 script_gen
+    (fun script ->
+      interpret Engine.Heap script = interpret Engine.Wheel script)
+
+(* ------------------------------------------------------------------ *)
+(* run ~until boundary (regression: events exactly at the limit fire)  *)
+
+let test_run_until_boundary backend () =
+  let engine = Engine.create ~backend () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule engine ~at:t (fun () -> fired := t :: !fired))
+    [ 49; 50; 51 ];
+  (* An event at exactly the limit fires, and a same-instant event it
+     schedules while firing fires too. *)
+  Engine.schedule engine ~at:50 (fun () ->
+      Engine.schedule engine ~at:50 (fun () -> fired := 5050 :: !fired));
+  Engine.run ~until:50 engine;
+  Alcotest.(check (list int)) "everything at <= until fired" [ 49; 50; 5050 ]
+    (List.rev !fired);
+  check_int "clock parked exactly at until" 50 (Engine.now engine);
+  check_int "strictly later events remain" 1 (Engine.pending_events engine);
+  (* Clock ends at until even when the queue drains before the limit. *)
+  Engine.run ~until:200 engine;
+  check_int "clock at until after drain" 200 (Engine.now engine);
+  check_int "drained" 0 (Engine.pending_events engine)
+
+(* ------------------------------------------------------------------ *)
+(* Stress: 1M timers, half cancelled, pools reclaimed                  *)
+
+let test_timer_stress backend () =
+  let engine = Engine.create ~backend () in
+  let rng = Rng.create ~seed:1234 in
+  let n = 1_000_000 in
+  let fired = ref 0 in
+  let action () = incr fired in
+  let cancelled = ref 0 in
+  let was_on = Obs.Prof.enabled () in
+  Obs.Prof.set_enabled true;
+  Obs.Prof.reset ();
+  for _ = 1 to n do
+    let tmr = Engine.timer_after engine ~delay:(1 + Rng.int rng 1_000_000_000) action in
+    if Rng.int rng 2 = 0 then begin
+      Engine.cancel tmr;
+      incr cancelled
+    end
+  done;
+  check_int "everything queued (cancelled timers stay until due)" n
+    (Engine.pending_events engine);
+  check_bool "queue depth gauge saw the full load" true
+    (Obs.Prof.heap_depth_high_water () >= n);
+  Engine.run engine;
+  Obs.Prof.set_enabled was_on;
+  check_int "pending drained" 0 (Engine.pending_events engine);
+  check_int "live timers fired" (n - !cancelled) !fired;
+  check_int "dead events dispatched without firing" n (Engine.events_processed engine);
+  (* Every pooled event record is back on the free list once the queue
+     drains: nothing is pending, so allocated = freed. *)
+  let freed = Engine.free_events engine in
+  check_bool "event pool reclaimed" true (freed > 0);
+  (* Scheduling again must draw from the pool, not allocate. *)
+  Engine.schedule_after engine ~delay:1 ignore;
+  check_int "reuse draws from the pool" (freed - 1) (Engine.free_events engine);
+  Engine.run engine;
+  check_int "and returns on fire" freed (Engine.free_events engine);
+  check_bool "roughly half cancelled" true (abs ((2 * !cancelled) - n) < n / 50)
+
+let test_wheel_cell_stress () =
+  let w = Timing_wheel.create () in
+  let rng = Rng.create ~seed:99 in
+  let n = 1_000_000 in
+  for i = 0 to n - 1 do
+    Timing_wheel.push w ~time:(Rng.int rng 1_000_000_000) i
+  done;
+  check_int "all queued" n (Timing_wheel.length w);
+  let popped = ref 0 in
+  let rec drain last =
+    match Timing_wheel.pop w with
+    | None -> ()
+    | Some (t, _) ->
+      if t < last then Alcotest.fail "out of order";
+      incr popped;
+      drain t
+  in
+  drain 0;
+  check_int "all popped" n !popped;
+  check_int "every cell reclaimed to the free list" n (Timing_wheel.free_cells w);
+  (* Reuse: a second load must consume the pool, not allocate. *)
+  for i = 0 to (n / 2) - 1 do
+    Timing_wheel.push w ~time:(2_000_000_000 + i) i
+  done;
+  check_int "pool consumed on reuse" (n / 2) (Timing_wheel.free_cells w)
+
+(* ------------------------------------------------------------------ *)
 (* RNG                                                                 *)
 
 let test_rng_deterministic () =
@@ -232,7 +575,13 @@ let test_rng_shuffle_permutation () =
 
 let qtests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_heap_sorted; prop_rng_int_in_range; prop_rng_float_in_range ]
+    [
+      prop_heap_sorted;
+      prop_wheel_matches_heap;
+      prop_engines_identical;
+      prop_rng_int_in_range;
+      prop_rng_float_in_range;
+    ]
 
 let () =
   Alcotest.run "eventsim"
@@ -249,6 +598,18 @@ let () =
           Alcotest.test_case "peek/length/clear" `Quick test_heap_peek_and_length;
           Alcotest.test_case "growth to 1000" `Quick test_heap_growth;
         ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "ordering" `Quick test_wheel_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "cascade boundaries" `Quick test_wheel_cascade_boundaries;
+          Alcotest.test_case "overflow beyond horizon" `Quick test_wheel_overflow;
+          Alcotest.test_case "rejects past" `Quick test_wheel_push_past_rejected;
+          Alcotest.test_case "peek" `Quick test_wheel_peek;
+          Alcotest.test_case "pop_until" `Quick test_wheel_pop_until;
+          Alcotest.test_case "pool reclaim" `Quick test_wheel_pool_reclaim;
+          Alcotest.test_case "1M cells stress" `Quick test_wheel_cell_stress;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
@@ -258,6 +619,14 @@ let () =
           Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
           Alcotest.test_case "timer fires once" `Quick test_timer_fires_once;
           Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "until boundary (wheel)" `Quick
+            (test_run_until_boundary Engine.Wheel);
+          Alcotest.test_case "until boundary (heap)" `Quick
+            (test_run_until_boundary Engine.Heap);
+          Alcotest.test_case "1M timers stress (wheel)" `Quick
+            (test_timer_stress Engine.Wheel);
+          Alcotest.test_case "1M timers stress (heap)" `Quick
+            (test_timer_stress Engine.Heap);
         ] );
       ( "rng",
         [
