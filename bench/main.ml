@@ -392,6 +392,11 @@ let smoke () =
      export carries flow 0's per-hop channels.  The cpu microbench below
      runs with INT back off so its rows stay comparable to figs. 11-12. *)
   Dcpkt.Int_meta.set_enabled true;
+  (* FCT attribution likewise: the report grows a deterministic
+     "fct_attrib" section (live stall clocks for the saturating pairs,
+     exact snapshots for completed flows) that the report_diff gate
+     tracks, and flow 0's per-state clock streams to the timeseries. *)
+  Obs.Attrib.set_enabled (Obs.Runtime.attrib ()) true;
   let net = Experiments.Harness.dumbbell scheme ~pairs () in
   let conns = Experiments.Harness.long_lived_pairs net scheme ~pairs in
   (* Instrument the run: switch queues, one flow's enforced window, flow
@@ -399,6 +404,8 @@ let smoke () =
      sockperf-style RTT probe all feed the run report. *)
   let ts = Experiments.Harness.new_timeseries net in
   Obs.Int_sink.watch (Obs.Runtime.int_sink ()) ~ts ~prefix:"flow0"
+    (Fabric.Conn.key (List.hd conns));
+  Obs.Attrib.watch (Obs.Runtime.attrib ()) ~ts ~prefix:"flow0"
     (Fabric.Conn.key (List.hd conns));
   let sample_every = Eventsim.Time_ns.us 500 in
   Array.iter
@@ -451,6 +458,7 @@ let smoke () =
   Obs.Runtime.close_pcap ();
   Obs.Runtime.close_profile ();
   Dcpkt.Int_meta.set_enabled false;
+  Obs.Attrib.set_enabled (Obs.Runtime.attrib ()) false;
   run_cpu_bench ~quota:0.05 ();
   (* The report is written only now so it can fold in the scheduler churn
      rows: [sched_speedup] (heap ns/op over wheel ns/op) is what the

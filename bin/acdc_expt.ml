@@ -50,6 +50,9 @@ let write_report ~path runs =
   end;
   let sink = Obs.Runtime.int_sink () in
   if Obs.Int_sink.touched sink then Obs.Report.set_int report (Obs.Int_sink.to_json sink);
+  let attrib = Obs.Runtime.attrib () in
+  if Obs.Attrib.touched attrib then
+    Obs.Report.set_fct_attrib report (Obs.Attrib.to_json attrib);
   Obs.Report.write report ~path
 
 open Cmdliner
@@ -138,6 +141,16 @@ let int_arg =
   in
   Arg.(value & flag & info [ "int" ] ~doc)
 
+let attrib_arg =
+  let doc =
+    "Enable causal FCT attribution: every flow's lifetime is split across a mutually \
+     exclusive stall-state clock (handshake, app/cwnd/rwnd-limited — native vs \
+     vSwitch-enforced — RTO recovery, in-flight) whose durations sum exactly to its FCT.  \
+     Results ride in the report's 'fct_attrib' section, 'attrib' trace events and \
+     'trace_query why --flow'."
+  in
+  Arg.(value & flag & info [ "attrib" ] ~doc)
+
 let fuzz_arg =
   let doc =
     "Run $(docv) randomized invariant-checking scenarios instead of experiments; exits \
@@ -182,9 +195,10 @@ let run_fuzz ~count ~seed ~report =
   violations
 
 let main verbose list trace trace_filter pcap metrics_out report timeseries impair profile
-    int_enabled fuzz seed ids =
+    int_enabled attrib_enabled fuzz seed ids =
   setup_logs verbose;
   if int_enabled then Dcpkt.Int_meta.set_enabled true;
+  if attrib_enabled then Obs.Attrib.set_enabled (Obs.Runtime.attrib ()) true;
   Option.iter (fun folded -> Obs.Runtime.profile_to ~folded ()) profile;
   (try Option.iter Obs.Runtime.trace_to_file trace
    with Sys_error msg ->
@@ -278,6 +292,6 @@ let cmd =
     Term.(
       const main $ verbose_arg $ list_arg $ trace_arg $ trace_filter_arg $ pcap_arg
       $ metrics_arg $ report_arg $ timeseries_arg $ impair_arg $ profile_arg $ int_arg
-      $ fuzz_arg $ seed_arg $ ids_arg)
+      $ attrib_arg $ fuzz_arg $ seed_arg $ ids_arg)
 
 let () = exit (Cmd.eval cmd)

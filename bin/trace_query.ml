@@ -304,6 +304,86 @@ let int_view events spec =
     (float_of_int fwd_total /. 1000.0)
 
 (* ------------------------------------------------------------------ *)
+(* why: a flow's causal stall timeline from its attribution events.    *)
+
+let why_view events spec =
+  let flow = match Trace.flow_of_spec spec with Ok f -> f | Error e -> failf "%s" e in
+  let transitions =
+    List.filter_map
+      (fun (now, ev) ->
+        match ev with
+        | Trace.Attrib_transition { flow = f; from_state; to_state; spent }
+          when Flow_key.equal f flow ->
+          Some (now, from_state, to_state, spent)
+        | _ -> None)
+      events
+  in
+  if transitions = [] then
+    failf
+      "no attribution events for flow %s in this trace (was the run started with --attrib?)"
+      spec;
+  let completions =
+    List.length (List.filter (fun (_, _, target, _) -> target = "complete") transitions)
+  in
+  let totals = Hashtbl.create 8 in
+  List.iter
+    (fun (_, from_state, _, spent) ->
+      Hashtbl.replace totals from_state
+        (spent + Option.value ~default:0 (Hashtbl.find_opt totals from_state)))
+    transitions;
+  let fct = List.fold_left (fun acc (_, _, _, spent) -> acc + spent) 0 transitions in
+  Format.printf "flow %a: %d state transitions%s@." Flow_key.pp flow (List.length transitions)
+    (if completions > 0 then
+       Printf.sprintf ", completed %d message batch(es), FCT %.3f us" completions (us fct)
+     else Printf.sprintf ", still live after %.3f us accounted" (us fct));
+  (* Each transition closes the interval its [spent] covers: the flow sat
+     in [from_state] from (t - spent) to t. *)
+  Format.printf "stall timeline:@.";
+  Format.printf "  %12s %12s  %s@." "t (us)" "dur (us)" "state";
+  List.iter
+    (fun (now, from_state, to_state, spent) ->
+      Format.printf "  %12.3f %12.3f  %s%s@."
+        (us (now - spent))
+        (us spent) from_state
+        (if to_state = "complete" then "  [message batch complete]" else ""))
+    transitions;
+  (* The causal verdict: where the flow's lifetime actually went.  The
+     durations are exact (they sum to the FCT by construction), so the
+     shares are too. *)
+  Format.printf "attribution (share of accounted time):@.";
+  Hashtbl.fold (fun state ns acc -> (state, ns) :: acc) totals []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.iter (fun (state, ns) ->
+         Format.printf "  %-24s %5.1f%%  %12.3f us@." state
+           (if fct = 0 then 0.0 else 100.0 *. float_of_int ns /. float_of_int fct)
+           (us ns));
+  (* Split "in_flight" further when the trace carries INT stamps: which
+     switch port the waiting actually happened at. *)
+  let hops = Hashtbl.create 8 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Int_hop { flow = f; hop; port; ingress; egress; _ } when Flow_key.equal f flow ->
+        let label = Printf.sprintf "%s:%d" hop port in
+        let sum, n = Option.value ~default:(0, 0) (Hashtbl.find_opt hops label) in
+        Hashtbl.replace hops label (sum + (egress - ingress), n + 1)
+      | _ -> ())
+    events;
+  if Hashtbl.length hops > 0 then begin
+    let total = Hashtbl.fold (fun _ (sum, _) acc -> acc + sum) hops 0 in
+    Format.printf "in_flight decomposition (per-hop queueing, from INT):@.";
+    Hashtbl.fold (fun label agg acc -> (label, agg) :: acc) hops []
+    |> List.sort (fun (_, (a, _)) (_, (b, _)) -> compare b a)
+    |> List.iter (fun (label, (sum, n)) ->
+           Format.printf "  %-16s %5.1f%%  %12.3f us over %d packets@." label
+             (if total = 0 then 0.0 else 100.0 *. float_of_int sum /. float_of_int total)
+             (us sum) n)
+  end
+  else
+    Format.printf
+      "(no INT samples for this flow; rerun with --int to split in_flight per hop)@."
+
+(* ------------------------------------------------------------------ *)
 (* validate: do the capture, the trace and the report agree?           *)
 
 let check name ok detail =
@@ -609,6 +689,21 @@ let int_cmd =
   let doc = "break a flow's latency down hop-by-hop from its in-band telemetry" in
   Cmd.v (Cmd.info "int" ~doc) Term.(ret (const run $ flow_arg $ trace_pos))
 
+let why_cmd =
+  let flow_arg =
+    let doc =
+      "Flow $(docv) (format SRC_IP:SRC_PORT-DST_IP:DST_PORT, data direction) whose stall \
+       timeline to reconstruct from its 'attrib' events (runs started with --attrib)."
+    in
+    Arg.(required & opt (some string) None & info [ "flow" ] ~docv:"FLOW" ~doc)
+  in
+  let run spec trace = wrap (fun () -> why_view (load_trace trace) spec) in
+  let doc =
+    "explain why a flow was slow: its exact stall-state timeline (handshake, app/cwnd/rwnd \
+     limited, RTO recovery, in flight) plus per-hop queueing attribution when INT was on"
+  in
+  Cmd.v (Cmd.info "why" ~doc) Term.(ret (const run $ flow_arg $ trace_pos))
+
 let validate_cmd =
   let pcap_arg =
     let doc = "Capture file (pcap or pcapng) to validate." in
@@ -630,6 +725,7 @@ let validate_cmd =
 
 let cmd =
   let doc = "query and validate AC/DC run artifacts (traces and captures)" in
-  Cmd.group (Cmd.info "trace_query" ~doc) [ explain_cmd; summary_cmd; int_cmd; validate_cmd ]
+  Cmd.group (Cmd.info "trace_query" ~doc)
+    [ explain_cmd; summary_cmd; int_cmd; why_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval cmd)

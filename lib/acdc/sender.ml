@@ -388,6 +388,14 @@ let rewrite_rwnd t flow (pkt : Packet.t) =
   t.window_hook flow.key (Engine.now t.engine) window;
   if (not t.config.Config.log_only) && flow.policy.Config.enforce then begin
     let field = window_field flow window in
+    (* Causal attribution: whether the window the tenant is about to see
+       binds because *we* shrank it, or is its receiver's own
+       advertisement.  Recorded before the rewrite so it reflects this
+       exact decision; the stall accountant resolves rwnd-limited stalls
+       against it. *)
+    let attrib = Obs.Runtime.attrib () in
+    if Obs.Attrib.enabled attrib then
+      Obs.Attrib.set_enforced attrib flow.key (field < pkt.Packet.rwnd_field);
     (* Preserve TCP semantics: only shrink, never grow, the advertised
        window (§3.3). *)
     if field < pkt.Packet.rwnd_field then begin

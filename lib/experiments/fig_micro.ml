@@ -237,7 +237,7 @@ let window_trace ~mtu ~host_cc ~host_ecn ~log_only ~duration =
      common case. *)
   let ts = Obs.Timeseries.create ~default_budget:65536 engine in
   let cwnd_ch = Obs.Timeseries.channel ts ~unit_label:"MSS" "flow0.cwnd_mss" in
-  Tcp.Endpoint.set_cwnd_hook (Fabric.Conn.client traced) (fun time w ->
+  Tcp.Endpoint.add_cwnd_hook (Fabric.Conn.client traced) (fun time w ->
       Obs.Timeseries.record cwnd_ch ~now:time (float_of_int w /. mss));
   let rwnd_ch = Obs.Timeseries.channel ts ~unit_label:"MSS" "flow0.rwnd_mss" in
   (match Fabric.Host.acdc (Fabric.Topology.host net 0) with

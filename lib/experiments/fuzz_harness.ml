@@ -111,6 +111,14 @@ let run_scenario scenario =
      what makes a fixed-seed fuzz report byte-identical across runs. *)
   Dcpkt.Packet.reset_ids ();
   Obs.Runtime.reset_metrics ();
+  (* Attribution is on for every scenario: invariant 7 wants the exactness
+     contract checked against random send/stall schedules, and the fuzzer
+     already generates exactly those. *)
+  Obs.Runtime.reset_attrib ();
+  let attrib = Obs.Runtime.attrib () in
+  let attrib_was = Obs.Attrib.enabled attrib in
+  Obs.Attrib.set_enabled attrib true;
+  Fun.protect ~finally:(fun () -> Obs.Attrib.set_enabled attrib attrib_was) @@ fun () ->
   let engine = Engine.create () in
   let scheme = Harness.acdc ~host_cc:(Tcp.Cc_registry.find scenario.cc_name) () in
   let params =
@@ -253,6 +261,29 @@ let run_scenario scenario =
   if (not scenario.misbehaving) && policer_drops > 0 then
     fail "spurious-policing"
       (Printf.sprintf "%d policer drops with every stack conforming" policer_drops);
+  (* 7. FCT attribution is causally exact: every completed flow's seven
+     state durations sum to its FCT to the nanosecond, none is negative,
+     and when every message completed, every connection has a snapshot. *)
+  let snaps = Obs.Attrib.completed attrib in
+  List.iter
+    (fun (snap : Obs.Attrib.snapshot) ->
+      let err = Obs.Attrib.exactness_error snap in
+      if err <> 0 then
+        fail "attrib-exactness"
+          (Format.asprintf "%a state durations miss fct=%dns by %dns" Dcpkt.Flow_key.pp
+             snap.Obs.Attrib.snap_flow snap.Obs.Attrib.snap_fct err);
+      List.iter
+        (fun (st, d) ->
+          if d < 0 then
+            fail "attrib-exactness"
+              (Format.asprintf "%a negative %s duration %dns" Dcpkt.Flow_key.pp
+                 snap.Obs.Attrib.snap_flow (Obs.Attrib.state_label st) d))
+        snap.Obs.Attrib.snap_states)
+    snaps;
+  if !completed = expected && List.length snaps <> List.length conns then
+    fail "attrib-coverage"
+      (Printf.sprintf "%d connections but %d attribution snapshots" (List.length conns)
+         (List.length snaps));
   Fabric.Topology.shutdown net;
   {
     scenario;

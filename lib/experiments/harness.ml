@@ -95,6 +95,9 @@ let report_of_run ~id ?scheme ?(config = []) ?goodputs ?timeseries () =
   end;
   let sink = Obs.Runtime.int_sink () in
   if Obs.Int_sink.touched sink then Obs.Report.set_int report (Obs.Int_sink.to_json sink);
+  let attrib = Obs.Runtime.attrib () in
+  if Obs.Attrib.touched attrib then
+    Obs.Report.set_fct_attrib report (Obs.Attrib.to_json attrib);
   report
 
 (* ------------------------------------------------------------------ *)
@@ -130,6 +133,7 @@ let pctl samples p =
 let reset_run_metrics () =
   Obs.Runtime.reset_metrics ();
   Obs.Runtime.reset_int_sink ();
+  Obs.Runtime.reset_attrib ();
   Acdc.Int_feedback.reset ()
 
 let metrics_json () = Obs.Metrics.to_json (Obs.Runtime.metrics ())
@@ -153,8 +157,14 @@ let run_sidecar ~id ~wall_s ~events =
     else fields
   in
   let sink = Obs.Runtime.int_sink () in
+  let fields =
+    if Obs.Int_sink.touched sink then fields @ [ ("int", Obs.Int_sink.to_json sink) ]
+    else fields
+  in
+  let attrib = Obs.Runtime.attrib () in
   Obs.Json.Obj
-    (if Obs.Int_sink.touched sink then fields @ [ ("int", Obs.Int_sink.to_json sink) ]
+    (if Obs.Attrib.touched attrib then
+       fields @ [ ("fct_attrib", Obs.Attrib.to_json attrib) ]
      else fields)
 
 let write_json ~path json =

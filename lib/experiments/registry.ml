@@ -71,6 +71,9 @@ let () =
   register ~id:"ext-int-hops"
     ~title:"per-hop latency attribution via in-band telemetry (extension)" (fun () ->
       Fig_int.Int_hops.(print (run ())));
+  register ~id:"ext-attrib"
+    ~title:"causal FCT attribution: enforced vs native stacks (extension)" (fun () ->
+      Fig_attrib.Attrib_fig.(print (run ())));
   register ~id:"ext-adversarial"
     ~title:"RWND-ignoring stack is policed, honest flows unharmed (extension)" (fun () ->
       Harness.print_header "ext-adversarial" "a cheating stack under AC/DC policing (3.3)";

@@ -128,6 +128,11 @@ let strip_int t (pkt : Packet.t) =
          { node = t.name; flow; pkt = pkt.Packet.id; hops = Array.length hops; exceeded })
   end;
   Obs.Int_sink.absorb (Obs.Runtime.int_sink ()) ~now ~flow ~hops ~exceeded;
+  (* Per-hop decomposition of the flow's in-flight time: the sojourn
+     stamps of a data packet's path accumulate on the data-direction flow
+     clock. *)
+  let attrib = Obs.Runtime.attrib () in
+  if Obs.Attrib.enabled attrib then Obs.Attrib.absorb_hops attrib flow hops;
   Acdc.Int_feedback.dispatch ~now ~flow hops
 
 let deliver t pkt =

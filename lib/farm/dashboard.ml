@@ -172,6 +172,8 @@ h2 { font-size: 15px; margin: 28px 0 10px; color: var(--ink); }
 .chip.critical { color: var(--critical); }
 .chip.warning { color: var(--warning); }
 .fuzz-grid { display: flex; flex-wrap: wrap; gap: 6px; }
+.swatch { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 4px; }
 .charts { display: flex; flex-wrap: wrap; gap: 18px; }
 .chart { background: var(--surface); border: 1px solid var(--border);
   border-radius: 8px; padding: 10px 12px; margin: 0; }
@@ -216,6 +218,48 @@ document.querySelectorAll('.pt').forEach(pt => {
   pt.addEventListener('mouseleave', () => { tt.style.display = 'none'; });
 });
 |js}
+
+(* Categorical palette for the attribution stacked bars: one fixed slot
+   per stall state, so the same state keeps the same color across
+   scenarios and runs.  Enforced-RWND gets categorical slot 1 (blue) —
+   it is the series the whole dashboard exists to show. *)
+let attrib_states =
+  [
+    ("handshake", "#898781");
+    ("app_limited", "#b5a642");
+    ("cwnd_limited", "#d03b3b");
+    ("rwnd_limited_native", "#e08b3c");
+    ("rwnd_limited_enforced", "#2a78d6");
+    ("rto_recovery", "#8d4bd0");
+    ("in_flight", "#0ca30c");
+  ]
+
+let attrib_bar ~aria fracs =
+  let total = List.fold_left (fun acc (_, _, v) -> acc +. v) 0.0 fracs in
+  if total <= 0.0 then "<span class=\"mono\">&mdash;</span>"
+  else begin
+    let bw = 420.0 and bh = 16 in
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<svg viewBox=\"0 0 420 %d\" width=\"420\" height=\"%d\" role=\"img\" aria-label=\"%s\">"
+         bh bh (esc aria));
+    let x = ref 0.0 in
+    List.iter
+      (fun (state, color, v) ->
+        let w = bw *. v /. total in
+        if w > 0.25 then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%.1f\" y=\"0\" width=\"%.1f\" height=\"%d\" fill=\"%s\"><title>%s \
+                %.1f%%</title></rect>"
+               !x w bh color (esc state)
+               (100.0 *. v /. total));
+        x := !x +. w)
+      fracs;
+    Buffer.add_string buf "</svg>";
+    Buffer.contents buf
+  end
 
 let history_series history =
   (* label each run by its short fingerprint, in recorded (oldest-first)
@@ -437,6 +481,66 @@ let render ~fingerprint ~rows ~history ~gate =
              (fmt_g (int_field "hops"))
              (path "p50") (path "p99") (path "max") worst))
       with_int;
+    add "</table>\n"
+  end;
+  (* ---- attribution panel: scenarios whose report says why flows were slow *)
+  let with_attrib =
+    List.filter_map
+      (fun r ->
+        match r.report >>= Obs.Json.member "fct_attrib" with
+        | Some section -> Some (r, section)
+        | None -> None)
+      rows
+  in
+  if with_attrib <> [] then begin
+    add "<h2>Why flows were slow: causal FCT attribution</h2>\n";
+    add "<div class=\"meta\">";
+    List.iter
+      (fun (state, color) ->
+        add
+          (Printf.sprintf
+             "<span class=\"swatch\" style=\"background:%s\"></span>%s&nbsp;&nbsp; " color
+             (esc state)))
+      attrib_states;
+    add "</div>\n<table>\n";
+    add "<tr><th>scenario</th><th>flows</th><th>completed</th><th>time share per stall state</th></tr>\n";
+    List.iter
+      (fun (r, section) ->
+        let count name =
+          match Obs.Json.member name section >>= number with
+          | Some v -> fmt_g v
+          | None -> "&mdash;"
+        in
+        (* Sum each state's nanoseconds across every per-flow row (live
+           rows included), so saturating benchmark flows still show where
+           their lifetime went. *)
+        let sums = Hashtbl.create 8 in
+        (match Obs.Json.member "rows" section with
+        | Some (Obs.Json.List flow_rows) ->
+          List.iter
+            (fun row ->
+              List.iter
+                (fun (state, _) ->
+                  match Obs.Json.member (state ^ "_ns") row >>= number with
+                  | Some v ->
+                    Hashtbl.replace sums state
+                      (v +. Option.value ~default:0.0 (Hashtbl.find_opt sums state))
+                  | None -> ())
+                attrib_states)
+            flow_rows
+        | _ -> ());
+        let fracs =
+          List.map
+            (fun (state, color) ->
+              (state, color, Option.value ~default:0.0 (Hashtbl.find_opt sums state)))
+            attrib_states
+        in
+        add
+          (Printf.sprintf
+             "<tr><td>%s</td><td class=\"num\">%s</td><td class=\"num\">%s</td><td>%s</td></tr>\n"
+             (esc r.id) (count "flows") (count "completed")
+             (attrib_bar ~aria:("FCT attribution for " ^ r.id) fracs)))
+      with_attrib;
     add "</table>\n"
   end;
   (* ---- per-scenario provenance table ---- *)

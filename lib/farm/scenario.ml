@@ -79,6 +79,14 @@ let bench_smoke ~exe =
                section (dashboard panel, ns/packet baselines) and the
                folded stacks become a cached artifact next to BENCH.json. *)
             "--profile=" ^ Filename.concat dir "profile.folded";
+            (* Trace + pcap cover the INT- and attribution-enabled
+               simulation portion (closed before the cpu microbench), so
+               CI can run `trace_query validate` against the farm's own
+               cached smoke artifacts. *)
+            "--trace";
+            Filename.concat dir "trace.jsonl";
+            "--pcap";
+            Filename.concat dir "smoke.pcap";
           ]);
     };
   ]

@@ -112,7 +112,10 @@ let diff ?(rules = default_rules) ?(default_tol = 0.15) ~base ~current () =
           (fun (k, bv) ->
             match List.assoc_opt k cf with
             | Some cv -> walk (join path k) bv cv
-            | None -> add (join path k) Warning "missing from current")
+            (* Symmetric with "new in current": retiring or renaming a
+               report key is a schema evolution, not a regression — it
+               must not hard-fail the CI gate. *)
+            | None -> add (join path k) Info "missing from current")
           bf;
         List.iter
           (fun (k, _) ->
@@ -127,7 +130,7 @@ let diff ?(rules = default_rules) ?(default_tol = 0.15) ~base ~current () =
               let sub = Printf.sprintf "%s[%s]" path k in
               match List.assoc_opt k ck with
               | Some cv -> walk sub bv cv
-              | None -> add sub Warning "missing from current")
+              | None -> add sub Info "missing from current")
             bk;
           List.iter
             (fun (k, _) ->

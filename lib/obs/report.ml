@@ -9,6 +9,7 @@ type t = {
   mutable metrics : Json.t option;
   mutable profile : Json.t option;
   mutable int_section : Json.t option;
+  mutable fct_attrib : Json.t option;
   mutable timeseries : timeseries_ref list;
 }
 
@@ -22,6 +23,7 @@ let create ?(schema = "acdc-report/1") ~id () =
     metrics = None;
     profile = None;
     int_section = None;
+    fct_attrib = None;
     timeseries = [];
   }
 
@@ -77,6 +79,8 @@ let set_profile t p = t.profile <- Some p
 
 let set_int t j = t.int_section <- Some j
 
+let set_fct_attrib t j = t.fct_attrib <- Some j
+
 let embed_timeseries t ts = t.timeseries <- Embedded ts :: t.timeseries
 
 let reference_timeseries t ~dir ts = t.timeseries <- Referenced (dir, ts) :: t.timeseries
@@ -113,16 +117,19 @@ let to_json t =
       ("timeseries", Json.List (List.rev_map timeseries_json t.timeseries));
     ]
   in
-  (* [profile] and [int] are optional and appended after the fixed
-     sections so runs without them stay byte-identical to the earlier
-     schema. *)
+  (* [profile], [int] and [fct_attrib] are optional and appended after
+     the fixed sections so runs without them stay byte-identical to the
+     earlier schema. *)
   let fields =
     match t.profile with None -> fields | Some p -> fields @ [ ("profile", p) ]
   in
+  let fields =
+    match t.int_section with None -> fields | Some j -> fields @ [ ("int", j) ]
+  in
   Json.Obj
-    (match t.int_section with
+    (match t.fct_attrib with
     | None -> fields
-    | Some j -> fields @ [ ("int", j) ])
+    | Some j -> fields @ [ ("fct_attrib", j) ])
 
 let write t ~path =
   let oc = open_out path in

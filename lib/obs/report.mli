@@ -38,6 +38,11 @@ val set_int : t -> Json.t -> unit
     rendered as a trailing ["int"] field after [profile].  Reports
     without one are unchanged. *)
 
+val set_fct_attrib : t -> Json.t -> unit
+(** Attach a causal FCT-attribution section (normally {!Attrib.to_json});
+    rendered as a trailing ["fct_attrib"] field after [int].  Reports
+    without one are unchanged. *)
+
 val embed_timeseries : t -> Timeseries.t -> unit
 (** Inline every channel's points into the report. *)
 
@@ -48,8 +53,8 @@ val reference_timeseries : t -> dir:string -> Timeseries.t -> unit
 
 val to_json : t -> Json.t
 (** Sections in fixed order: schema, id, config, scalars, percentiles,
-    metrics, timeseries, then [profile] and [int] when attached —
-    deterministic for deterministic inputs. *)
+    metrics, timeseries, then [profile], [int] and [fct_attrib] when
+    attached — deterministic for deterministic inputs. *)
 
 val write : t -> path:string -> unit
 (** Pretty-printed JSON to [path].  Raises [Sys_error] on unwritable

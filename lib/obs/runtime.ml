@@ -72,6 +72,12 @@ let int_sink () = the_int_sink
 
 let reset_int_sink () = Int_sink.reset the_int_sink
 
+let the_attrib = Attrib.create ()
+
+let attrib () = the_attrib
+
+let reset_attrib () = Attrib.reset the_attrib
+
 let timeseries_sink = ref None
 
 let set_timeseries_sink ~dir = timeseries_sink := Some dir

@@ -101,3 +101,15 @@ val export_timeseries : Timeseries.t -> unit
 
 val int_sink : unit -> Int_sink.t
 val reset_int_sink : unit -> unit
+
+(** {2 Causal FCT attribution}
+
+    The ambient {!Attrib} instance.  Send-decision points in the TCP
+    endpoint, the AC/DC sender and the fabric hosts feed it when it is
+    enabled ([Attrib.set_enabled (attrib ()) true] — the [--attrib] flag
+    on the experiment driver does); disabled it costs the hot paths one
+    load and one branch.  Drivers reset it between runs like the metrics
+    registry. *)
+
+val attrib : unit -> Attrib.t
+val reset_attrib : unit -> unit

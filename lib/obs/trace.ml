@@ -38,6 +38,12 @@ type event =
       svc_bps : int;
     }
   | Int_strip of { node : string; flow : Flow_key.t; pkt : int; hops : int; exceeded : bool }
+  | Attrib_transition of {
+      flow : Flow_key.t;
+      from_state : string;
+      to_state : string;
+      spent : int;
+    }
 
 type ring = {
   slots : (Time_ns.t * event) option array;
@@ -151,6 +157,7 @@ let kind_of_event = function
   | Rto_fire _ -> "rto"
   | Int_hop _ -> "int_hop"
   | Int_strip _ -> "int_strip"
+  | Attrib_transition _ -> "attrib"
 
 let flow_of_event = function
   | Created { flow; _ }
@@ -161,7 +168,8 @@ let flow_of_event = function
   | Dupack { flow; _ }
   | Rto_fire { flow; _ }
   | Int_hop { flow; _ }
-  | Int_strip { flow; _ } -> Some flow
+  | Int_strip { flow; _ }
+  | Attrib_transition { flow; _ } -> Some flow
   | Enqueue _ | Dequeue _ | Drop _ | Ce_mark _ | Impaired _ | Vswitch_drop _ | Delivered _ ->
     None
 
@@ -179,7 +187,7 @@ let pkt_of_event = function
   | Policer_drop { pkt; _ }
   | Int_hop { pkt; _ }
   | Int_strip { pkt; _ } -> Some pkt
-  | Alpha_update _ | Dupack _ | Rto_fire _ -> None
+  | Alpha_update _ | Dupack _ | Rto_fire _ | Attrib_transition _ -> None
 
 let pkt_kind (p : Packet.t) =
   if p.syn && p.has_ack then "syn_ack"
@@ -324,6 +332,14 @@ let event_to_json ~now event =
         ("pkt", Json.Int pkt);
         ("hops", Json.Int hops);
         ("exceeded", Json.Bool exceeded);
+      ]
+  | Attrib_transition { flow; from_state; to_state; spent } ->
+    base'
+      [
+        ("flow", Json.String (flow_label flow));
+        ("from", Json.String from_state);
+        ("to", Json.String to_state);
+        ("spent", Json.Int spent);
       ]
 
 (* ------------------------------------------------------------------ *)
@@ -477,6 +493,12 @@ let event_of_json json =
       let* hops = int "hops" in
       let* exceeded = bool "exceeded" in
       Ok (Int_strip { node; flow; pkt; hops; exceeded })
+    | "attrib" ->
+      let* flow = flow "flow" in
+      let* from_state = str "from" in
+      let* to_state = str "to" in
+      let* spent = int "spent" in
+      Ok (Attrib_transition { flow; from_state; to_state; spent })
     | _ -> Error (Printf.sprintf "unknown event kind %S" ev)
   in
   Ok (now, event)
@@ -634,3 +656,5 @@ let pp_event fmt event =
   | Int_strip { node; flow = f; pkt; hops; exceeded } ->
     Format.fprintf fmt "int     %s %a pkt=%d hops=%d%s" node flow f pkt hops
       (if exceeded then " (exceeded)" else "")
+  | Attrib_transition { flow = f; from_state; to_state; spent } ->
+    Format.fprintf fmt "attrib  %a %s -> %s (spent %dns)" flow f from_state to_state spent

@@ -87,6 +87,15 @@ type event =
   | Int_strip of { node : string; flow : Dcpkt.Flow_key.t; pkt : int; hops : int; exceeded : bool }
       (** Summary of one stripped stack; [exceeded] records that some
           switch found no option space left and skipped stamping. *)
+  | Attrib_transition of {
+      flow : Dcpkt.Flow_key.t;
+      from_state : string;
+      to_state : string;
+      spent : int;
+    }
+      (** The flow's {!Attrib} stall clock left [from_state] (an
+          {!Attrib.state_label}, or ["complete"] as [to_state] when the
+          flow's FCT snapshot was taken) after [spent] ns there. *)
 
 type t
 (** A tracer: a sink plus its enabled flag. *)

@@ -57,6 +57,7 @@ type t = {
   algo : Cc.t;
   rto : Rto.t;
   tracer : Obs.Trace.t;
+  attrib : Obs.Attrib.t;
   (* --- sender state --- *)
   mutable state : state;
   mutable snd_una : int;
@@ -72,6 +73,7 @@ type t = {
   mutable high_rxt : int; (* retransmission cursor within the holes *)
   mutable rxt_out : int; (* retransmitted bytes estimated still in flight *)
   mutable rto_timer : Engine.timer option;
+  mutable rto_recovering : bool; (* between an RTO firing and the next new ACK *)
   (* Timer actions built once per endpoint (lazily, at first arm) instead
      of once per arming — RTO rearms on every ACK. *)
   mutable rto_action : unit -> unit;
@@ -120,6 +122,7 @@ let create ?tracer engine config ~key ~out ~is_client =
     algo = config.cc ();
     rto = Rto.create ~min_rto:config.min_rto ();
     tracer = (match tracer with Some t -> t | None -> Obs.Runtime.tracer ());
+    attrib = Obs.Runtime.attrib ();
     state = (if is_client then Closed else Listen);
     snd_una = 0;
     snd_nxt = 0;
@@ -134,6 +137,7 @@ let create ?tracer engine config ~key ~out ~is_client =
     high_rxt = 0;
     rxt_out = 0;
     rto_timer = None;
+    rto_recovering = false;
     rto_action = unset_action;
     delack_action = unset_action;
     rtt_seq = -1;
@@ -286,6 +290,7 @@ and handle_rto t =
   end
   else if t.snd_una < t.snd_nxt && t.state <> Closed then begin
     t.timeouts <- t.timeouts + 1;
+    t.rto_recovering <- true;
     if Obs.Trace.enabled t.tracer then
       Obs.Trace.emit t.tracer ~now:(Engine.now t.engine)
         (Obs.Trace.Rto_fire { flow = t.key; inferred = false; count = t.timeouts });
@@ -388,6 +393,32 @@ and try_send t =
     done;
     if !progress && t.rto_timer = None then arm_rto t;
     maybe_send_fin t
+  end;
+  note_attrib t
+
+(* Every can-send re-evaluation ends here: classify what stops the sender
+   from transmitting more right now and charge the stall clock.  Whether
+   an rwnd stall is the tenant's own window or the vSwitch-enforced one is
+   resolved inside [Obs.Attrib] from the flag [Acdc.Sender] maintains —
+   this endpoint cannot tell who wrote the field it sees. *)
+and note_attrib t =
+  let a = t.attrib in
+  if Obs.Attrib.enabled a then begin
+    let cause =
+      match t.state with
+      | Syn_sent | Syn_received -> Obs.Attrib.Blocked_handshake
+      | Closed | Listen | Established | Fin_wait | Closing ->
+        if t.rto_recovering then Obs.Attrib.Blocked_rto
+        else if available_bytes t <= 0 then
+          if pipe t > 0 then Obs.Attrib.Waiting_acks else Obs.Attrib.Blocked_app
+        else begin
+          (* Data is available but the send loop stopped: a window binds.
+             Ties go to the congestion window, matching [effective_window]. *)
+          let rwnd = if t.config.ignore_rwnd then max_int / 2 else t.peer_rwnd in
+          if t.cwnd <= rwnd then Obs.Attrib.Blocked_cwnd else Obs.Attrib.Blocked_rwnd
+        end
+    in
+    Obs.Attrib.note a ~now:(Engine.now t.engine) ~tracer:t.tracer t.key cause
   end
 
 (* ------------------------------------------------------------------ *)
@@ -490,15 +521,26 @@ let update_peer_window t (pkt : Packet.t) =
   t.peer_rwnd <- pkt.rwnd_field lsl t.peer_wscale
 
 let complete_messages t =
+  let popped = ref false in
   let rec loop () =
     match Queue.peek_opt t.messages with
     | Some m when m.end_seq <= t.snd_una ->
       ignore (Queue.pop t.messages);
+      popped := true;
       m.on_complete (Time_ns.diff (Engine.now t.engine) m.submitted);
       loop ()
     | Some _ | None -> ()
   in
-  loop ()
+  loop ();
+  (* The flow's attribution snapshot: taken when the last queued message
+     completes (not on later pure ACKs), so the per-state durations sum to
+     the connect-to-last-byte-acked FCT exactly. *)
+  if
+    !popped && Queue.is_empty t.messages
+    && (not t.infinite_source)
+    && Obs.Attrib.enabled t.attrib
+    && t.snd_una >= data_start + t.app_bytes
+  then Obs.Attrib.complete t.attrib ~now:(Engine.now t.engine) ~tracer:t.tracer t.key
 
 let classic_ecn_reaction t (pkt : Packet.t) =
   if
@@ -565,6 +607,7 @@ let handle_ack t (pkt : Packet.t) =
   if pkt.ack > t.snd_una then begin
     let acked = pkt.ack - t.snd_una in
     t.snd_una <- pkt.ack;
+    t.rto_recovering <- false;
     t.bytes_acked <- t.bytes_acked + acked;
     t.bytes_hook (Engine.now t.engine) acked;
     t.rxt_out <- Stdlib.max 0 (t.rxt_out - acked);
@@ -629,6 +672,8 @@ let handle_ack t (pkt : Packet.t) =
 
 let connect t =
   assert t.is_client;
+  if Obs.Attrib.enabled t.attrib then
+    Obs.Attrib.start t.attrib ~now:(Engine.now t.engine) t.key;
   t.state <- Syn_sent;
   let pkt = syn_packet t in
   t.snd_una <- 0;
@@ -746,4 +791,12 @@ let register_probes t ~ts ~prefix ~interval =
          Some (float_of_int t.cwnd)))
 let set_rtt_hook t f = t.rtt_hook <- f
 let set_cwnd_hook t f = t.cwnd_hook <- f
+
+let add_cwnd_hook t f =
+  let prev = t.cwnd_hook in
+  t.cwnd_hook <-
+    (fun now w ->
+      prev now w;
+      f now w)
+
 let set_bytes_hook t f = t.bytes_hook <- f

@@ -129,7 +129,13 @@ val set_rtt_hook : t -> (Eventsim.Time_ns.t -> unit) -> unit
 (** Called with every clean RTT sample the sender takes. *)
 
 val set_cwnd_hook : t -> (Eventsim.Time_ns.t -> int -> unit) -> unit
-(** Called whenever the congestion window changes. *)
+(** Called whenever the congestion window changes.  Replaces {e every}
+    previously installed hook; prefer {!add_cwnd_hook} so independent
+    observers (figure traces, attribution) can coexist. *)
+
+val add_cwnd_hook : t -> (Eventsim.Time_ns.t -> int -> unit) -> unit
+(** Stack [f] after any previously installed congestion-window hooks;
+    all installed hooks run on every change, in installation order. *)
 
 val set_bytes_hook : t -> (Eventsim.Time_ns.t -> int -> unit) -> unit
 (** Called with the byte count each time the cumulative ACK advances:

@@ -180,6 +180,10 @@ let all_events =
     Trace.Dupack { flow; ack = 1000; count = 3 };
     Trace.Rto_fire { flow; inferred = true; count = 2 };
     Trace.Rto_fire { flow; inferred = false; count = 1 };
+    Trace.Attrib_transition
+      { flow; from_state = "handshake"; to_state = "cwnd_limited"; spent = 4500 };
+    Trace.Attrib_transition
+      { flow; from_state = "in_flight"; to_state = "complete"; spent = 250000 };
   ]
 
 let test_event_json_roundtrip () =
@@ -382,6 +386,56 @@ let test_json_parser () =
       {|"\udc00x"|};
     ]
 
+let test_json_deep_nesting () =
+  (* Escapes survive arbitrary nesting depth: a string full of
+     must-escape material wrapped in 64 levels of alternating
+     object/array structure parses back to the exact original. *)
+  let nasty = "q\"uo\\te\n\t\x00\x1f caf\xc3\xa9 \xf0\x9f\x98\x80 \\u0041 not-an-escape" in
+  let deep =
+    let rec wrap n j =
+      if n = 0 then j
+      else if n mod 2 = 0 then wrap (n - 1) (Json.Obj [ ("k\"ey\n" ^ string_of_int n, j) ])
+      else wrap (n - 1) (Json.List [ j; Json.String nasty ])
+    in
+    wrap 64 (Json.String nasty)
+  in
+  let printed = Json.to_string deep in
+  let reparsed = parse_ok printed in
+  Alcotest.(check bool) "deep value survives print/parse" true (reparsed = deep);
+  check_string "reprint is stable" printed (Json.to_string reparsed);
+  (* A 256-deep homogeneous array does not hit any parser depth limit. *)
+  let rec spine n = if n = 0 then Json.Int 1 else Json.List [ spine (n - 1) ] in
+  let towers = spine 256 in
+  Alcotest.(check bool) "256-deep array round-trips" true
+    (parse_ok (Json.to_string towers) = towers)
+
+let test_json_non_finite () =
+  (* The emitter writes non-finite floats as null (JSON has no NaN), so
+     a document containing them still parses — as Null. *)
+  let doc = Json.Obj [ ("nan", Json.Float nan); ("inf", Json.Float infinity);
+                       ("ninf", Json.Float neg_infinity); ("ok", Json.Float 0.5) ] in
+  (match parse_ok (Json.to_string doc) with
+  | Json.Obj [ ("nan", Json.Null); ("inf", Json.Null); ("ninf", Json.Null);
+               ("ok", Json.Float f) ] ->
+    Alcotest.(check (float 0.0)) "finite float preserved" 0.5 f
+  | _ -> Alcotest.fail "non-finite floats must parse back as null");
+  (* The JS-flavored literals some emitters produce are not JSON; the
+     parser must reject them rather than smuggle non-finite values in. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" s)
+        true
+        (Result.is_error (Json.of_string s)))
+    [ "NaN"; "Infinity"; "-Infinity"; "nan"; "inf"; "[1,NaN]"; {|{"x":Infinity}|}; "1e999x" ];
+  (* Overflowing exponents parse to OCaml's infinity and then re-print as
+     null — lossy but deterministic, never a crash. *)
+  match parse_ok "[1e999]" with
+  | Json.List [ Json.Float f ] ->
+    Alcotest.(check bool) "1e999 parses to infinity" true (f = Float.infinity);
+    check_string "and re-prints as null" "[null]" (Json.to_string (Json.List [ Json.Float f ]))
+  | _ -> Alcotest.fail "expected a one-float list"
+
 let () =
   Alcotest.run "obs"
     [
@@ -412,5 +466,7 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "parser" `Quick test_json_parser;
+          Alcotest.test_case "deeply nested escapes round-trip" `Quick test_json_deep_nesting;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
         ] );
     ]
